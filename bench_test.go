@@ -1,0 +1,240 @@
+// Package repro's root benchmark suite: one testing.B benchmark per
+// table and figure of the paper (each regenerates the corresponding
+// data series via the internal/bench harness at Tiny scale) plus
+// micro-benchmarks of the computational kernels and the design-choice
+// ablations called out in DESIGN.md §6.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/bennett"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/order"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// benchExperiment runs one harness experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	d, err := bench.DatasetsFor(bench.Tiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := bench.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure ---
+
+func BenchmarkFig1PageRankSeries(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig5INCQualityDecay(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6QualityVsAlpha(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7SpeedupVsAlpha(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8TimeBreakdown(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9DeltaESweep(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10QCBetaSweep(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11PatentCaseStudy(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkTblSolveMethods(b *testing.B)      { benchExperiment(b, "tblSolve") }
+func BenchmarkTblBennettProfile(b *testing.B)    { benchExperiment(b, "tblBennett") }
+
+// --- Kernel micro-benchmarks ---
+
+// benchEMS builds a moderate Wiki-like EMS once for the kernel benches.
+func benchEMS(b *testing.B) (*graph.EGS, *graph.EMS) {
+	b.Helper()
+	egs, err := gen.WikiSim(gen.WikiConfig{
+		N: 1000, T: 12, InitialEdges: 2800, FinalEdges: 2960,
+		ChurnFrac: 0.25, EventRate: 0.05, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return egs, graph.DeriveEMS(egs, graph.RWRMatrix(0.85))
+}
+
+func BenchmarkKernelMarkowitz(b *testing.B) {
+	_, ems := benchEMS(b)
+	p := ems.Matrices[0].Pattern()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = order.Markowitz(p)
+	}
+}
+
+func BenchmarkKernelSymbolic(b *testing.B) {
+	_, ems := benchEMS(b)
+	ord := order.Markowitz(ems.Matrices[0].Pattern())
+	p := ems.Matrices[0].Pattern().Permute(ord.Ordering)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lu.Symbolic(p)
+	}
+}
+
+func BenchmarkKernelFactorize(b *testing.B) {
+	_, ems := benchEMS(b)
+	ord := order.Markowitz(ems.Matrices[0].Pattern())
+	a := ems.Matrices[0].Permute(ord.Ordering)
+	sym := lu.Symbolic(a.Pattern())
+	f := lu.NewStaticFactors(sym)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Factorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSolve(b *testing.B) {
+	_, ems := benchEMS(b)
+	ord := order.Markowitz(ems.Matrices[0].Pattern())
+	s, err := lu.FactorizeOrdered(ems.Matrices[0], ord.Ordering)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, ems.N())
+	rhs[3] = 0.15
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Solve(rhs)
+	}
+}
+
+// BenchmarkKernelBennettStatic measures one EMS step applied to a
+// static USSP container (the CLUDE inner loop).
+func BenchmarkKernelBennettStatic(b *testing.B) {
+	_, ems := benchEMS(b)
+	union := ems.Matrices[0].Pattern()
+	for _, m := range ems.Matrices[1:] {
+		union = union.Union(m.Pattern())
+	}
+	ord := order.Markowitz(union)
+	sym := lu.Symbolic(union.Permute(ord.Ordering))
+	f := lu.NewStaticFactors(sym)
+	a0 := ems.Matrices[0].Permute(ord.Ordering)
+	a1 := ems.Matrices[1].Permute(ord.Ordering)
+	delta := sparse.Delta(a0, a1)
+	back := sparse.Delta(a1, a0)
+	if err := f.Factorize(a0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bennett.UpdateStatic(f, delta, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := bennett.UpdateStatic(f, back, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelBennettDynamic is the same step through the
+// linked-list container (the INC/CINC inner loop) — the head-to-head
+// behind the paper's ~70%-restructuring observation.
+func BenchmarkKernelBennettDynamic(b *testing.B) {
+	_, ems := benchEMS(b)
+	ord := order.Markowitz(ems.Matrices[0].Pattern())
+	a0 := ems.Matrices[0].Permute(ord.Ordering)
+	a1 := ems.Matrices[1].Permute(ord.Ordering)
+	delta := sparse.Delta(a0, a1)
+	back := sparse.Delta(a1, a0)
+	static := lu.NewStaticFactors(lu.Symbolic(a0.Pattern()))
+	if err := static.Factorize(a0); err != nil {
+		b.Fatal(err)
+	}
+	d := lu.NewDynamicFactors(static)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bennett.UpdateDynamic(d, delta, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := bennett.UpdateDynamic(d, back, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationNaturalOrder factors under the identity ordering —
+// quantifying how much of the pipeline's win is ordering quality alone.
+func BenchmarkAblationNaturalOrder(b *testing.B) {
+	_, ems := benchEMS(b)
+	a := ems.Matrices[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lu.FactorizeOrdered(a, sparse.IdentityOrdering(a.N())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMarkowitzOrder is the fill-reduced counterpart of
+// BenchmarkAblationNaturalOrder (ordering time excluded).
+func BenchmarkAblationMarkowitzOrder(b *testing.B) {
+	_, ems := benchEMS(b)
+	a := ems.Matrices[0]
+	ord := order.Markowitz(a.Pattern())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lu.FactorizeOrdered(a, ord.Ordering); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFullPipeline compares the four LUDEM algorithms
+// end-to-end on one EMS (reported as separate sub-benchmarks).
+func BenchmarkAblationFullPipeline(b *testing.B) {
+	_, ems := benchEMS(b)
+	for _, alg := range []core.Algorithm{core.BF, core.INC, core.CINC, core.CLUDE} {
+		b.Run(string(alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(ems, alg, core.Options{Alpha: 0.95}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryAfterDecomposition measures the payoff the whole paper
+// is built on: answering one RWR query from prepared factors.
+func BenchmarkQueryAfterDecomposition(b *testing.B) {
+	egs, ems := benchEMS(b)
+	_ = egs
+	ord := order.Markowitz(ems.Matrices[0].Pattern())
+	s, err := lu.FactorizeOrdered(ems.Matrices[0], ord.Ordering)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(5)
+	rhs := make([]float64, ems.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rhs {
+			rhs[j] = 0
+		}
+		rhs[rng.Intn(len(rhs))] = 0.15
+		_ = s.Solve(rhs)
+	}
+}

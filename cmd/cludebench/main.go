@@ -1,0 +1,72 @@
+// Command cludebench regenerates the paper's tables and figures on the
+// simulated datasets.
+//
+// Usage:
+//
+//	cludebench -exp fig7 -scale medium
+//	cludebench -exp all  -scale small
+//	cludebench -list
+//
+// Every experiment prints one or more aligned text tables carrying the
+// same series the corresponding paper figure plots; EXPERIMENTS.md
+// records a captured run next to the paper's reported numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale = flag.String("scale", "small", "dataset scale: small | medium | paper")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	d, err := bench.DatasetsFor(bench.Scale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.Registry()
+	} else {
+		e, err := bench.Find(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		fmt.Printf("\n### %s — %s (scale=%s)\n", e.ID, e.Paper, *scale)
+		t0 := time.Now()
+		tables, err := e.Run(d)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("\n[%s completed in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cludebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command egsgen generates a synthetic evolving graph sequence with the
+// paper's generator (§6) and writes it as a simple text format: one
+// header line "egs <V> <T> <directed>" followed, per snapshot, by a
+// line "snapshot <t> <edges>" and one "u v" line per edge.
+//
+// Usage:
+//
+//	egsgen -v 2000 -ep 18000 -d 5 -k 4 -deltae 40 -t 60 -seed 1 > egs.txt
+//
+// The format is deliberately trivial so downstream tooling in any
+// language can consume it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	var cfg gen.SyntheticConfig
+	var seed uint64
+	flag.IntVar(&cfg.V, "v", 2000, "number of vertices")
+	flag.IntVar(&cfg.EP, "ep", 18000, "edge pool size")
+	flag.IntVar(&cfg.D, "d", 5, "average degree of first snapshot")
+	flag.IntVar(&cfg.K, "k", 4, "ratio deltaE+/deltaE-")
+	flag.IntVar(&cfg.DeltaE, "deltae", 40, "edge changes per step")
+	flag.IntVar(&cfg.T, "t", 60, "snapshots")
+	flag.Uint64Var(&seed, "seed", 1, "PRNG seed")
+	flag.Parse()
+	cfg.Seed = seed
+
+	egs, err := gen.Synthetic(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egsgen:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "egs %d %d %t\n", egs.N(), egs.Len(), egs.Snapshots[0].Directed())
+	for t, g := range egs.Snapshots {
+		es := g.Edges()
+		fmt.Fprintf(w, "snapshot %d %d\n", t, len(es))
+		for _, e := range es {
+			fmt.Fprintf(w, "%d %d\n", e.From, e.To)
+		}
+	}
+}

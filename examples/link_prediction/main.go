@@ -1,0 +1,109 @@
+// Link prediction over an evolving graph (the paper's Example 3): for
+// candidate node pairs, compute the RWR proximity score on every
+// snapshot, fit a linear trend to each pair's score series, and rank
+// non-edges by trend-adjusted proximity. Pairs whose proximity is both
+// high and rising are the strongest link candidates — information a
+// single static snapshot cannot provide.
+//
+//	go run ./examples/link_prediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/measures"
+)
+
+func main() {
+	cfg := gen.DBLPConfig{
+		N: 400, T: 40, Communities: 3,
+		InitialPapers: 320, PapersPerDay: 5,
+		MaxCoauthors: 4, CrossCommunity: 0.05, Seed: 31,
+	}
+	egs, err := gen.DBLPSim(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const damping = 0.85
+	ems := graph.DeriveEMS(egs, graph.RWRMatrix(damping))
+
+	// Focus on one author; candidates are all non-neighbours on the
+	// first snapshot.
+	const author = 11
+	first := egs.Snapshots[0]
+	last := egs.Snapshots[egs.Len()-1]
+
+	scores := make([][]float64, egs.Len())
+	if _, err := core.Run(ems, core.CLUDE, core.Options{
+		Alpha: 0.95,
+		OnFactors: func(i int, s *lu.Solver) {
+			eng := measures.NewEngineFromSolver(egs.Snapshots[i], damping, s)
+			scores[i] = eng.RWR(author)
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Linear trend of each candidate's proximity series.
+	type candidate struct {
+		v            int
+		level, slope float64
+		linkedLater  bool
+	}
+	var cands []candidate
+	T := float64(len(scores))
+	for v := 0; v < egs.N(); v++ {
+		if v == author || first.HasEdge(author, v) {
+			continue
+		}
+		// Least-squares slope of score(t).
+		var sumT, sumS, sumTS, sumTT float64
+		for t := range scores {
+			ft := float64(t)
+			s := scores[t][v]
+			sumT += ft
+			sumS += s
+			sumTS += ft * s
+			sumTT += ft * ft
+		}
+		den := T*sumTT - sumT*sumT
+		if den == 0 {
+			continue
+		}
+		slope := (T*sumTS - sumT*sumS) / den
+		cands = append(cands, candidate{
+			v:           v,
+			level:       sumS / T,
+			slope:       slope,
+			linkedLater: last.HasEdge(author, v),
+		})
+	}
+
+	// Rank by trend-adjusted proximity: projected score one window
+	// ahead.
+	sort.Slice(cands, func(i, j int) bool {
+		pi := cands[i].level + cands[i].slope*T
+		pj := cands[j].level + cands[j].slope*T
+		return pi > pj
+	})
+
+	fmt.Printf("link candidates for author %d (ranked by projected RWR proximity):\n\n", author)
+	fmt.Println("  rank  node  avg score   trend/step   became co-author?")
+	hits := 0
+	for i := 0; i < 10 && i < len(cands); i++ {
+		c := cands[i]
+		mark := ""
+		if c.linkedLater {
+			mark = "  ← yes"
+			hits++
+		}
+		fmt.Printf("  %4d  %4d  %.3e  %+.3e%s\n", i+1, c.v, c.level, c.slope, mark)
+	}
+	fmt.Printf("\n%d of the top 10 candidates became co-authors within the window.\n", hits)
+}

@@ -1,0 +1,97 @@
+// Patent case study (paper §7, Figure 11): on yearly snapshots of a
+// patent citation graph, measure each company's proximity to a subject
+// company by summing Personalized PageRank over its patents, seeded at
+// the subject's patents. Reported as ranks per year, the series exposes
+// the company whose technological dependency on the subject is rising —
+// the paper's Harris/IBM story, recovered here from simulated data with
+// a planted riser.
+//
+//	go run ./examples/patent_casestudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/measures"
+)
+
+func main() {
+	cfg := gen.DefaultPatentConfig()
+	data, err := gen.PatentSim(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Reverse the citation arcs: random-walk mass from the subject's
+	// patents must flow toward the patents *citing* them.
+	egs := reverseEGS(data.EGS)
+	const damping = 0.85
+	const subject = 0 // IBM
+	nc := len(data.Names)
+
+	ems := graph.DeriveEMS(egs, graph.RWRMatrix(damping))
+	ranks := make([][]int, egs.Len())
+	if _, err := core.Run(ems, core.CLUDE, core.Options{
+		Alpha: 0.9,
+		OnFactors: func(year int, s *lu.Solver) {
+			eng := measures.NewEngineFromSolver(egs.Snapshots[year], damping, s)
+			var seeds []int
+			for v := 0; v < egs.N(); v++ {
+				if data.Company[v] == subject && data.GrantYear[v] <= year {
+					seeds = append(seeds, v)
+				}
+			}
+			ppr := eng.PPR(seeds)
+			prox := make([]float64, nc)
+			for v := 0; v < egs.N(); v++ {
+				if data.GrantYear[v] <= year {
+					prox[data.Company[v]] += ppr[v]
+				}
+			}
+			ranks[year] = measures.Ranks(prox[1:]) // exclude the subject itself
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("proximity rank from %s patents (1 = closest), 1979–1999:\n\n", data.Names[subject])
+	fmt.Printf("  year  %s\n", strings.Join(pad(data.Names[1:]), " "))
+	for year := range ranks {
+		cells := make([]string, nc-1)
+		for c, r := range ranks[year] {
+			cells[c] = fmt.Sprintf("%*d", len(data.Names[c+1]), r)
+		}
+		fmt.Printf("  %d  %s\n", 1979+year, strings.Join(cells, " "))
+	}
+
+	riser := cfg.RisingCompany
+	fmt.Printf("\n%s's rank: %d (1980) → %d (1999) — the steady climb the analyst would flag\n",
+		data.Names[riser], ranks[1][riser-1], ranks[len(ranks)-1][riser-1])
+	fmt.Println("(in the real data this is Harris, whose 1992 IBM alliance the trend predicted)")
+}
+
+func pad(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = n
+	}
+	return out
+}
+
+// reverseEGS flips every snapshot's arcs (see graph.Reverse).
+func reverseEGS(s *graph.EGS) *graph.EGS {
+	snaps := make([]*graph.Graph, s.Len())
+	for i, g := range s.Snapshots {
+		snaps[i] = g.Reverse()
+	}
+	out, err := graph.NewEGS(snaps)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a small evolving graph sequence, run CLUDE over the
+// derived matrix sequence, and answer Random-Walk-with-Restart queries
+// on every snapshot from the streamed LU factors.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/measures"
+)
+
+func main() {
+	// 1. An evolving graph sequence: 300 vertices, 20 snapshots, a few
+	//    dozen edge changes between consecutive snapshots.
+	cfg := gen.SyntheticConfig{V: 300, EP: 2700, D: 5, K: 4, DeltaE: 20, T: 20, Seed: 42}
+	egs, err := gen.Synthetic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EGS: %d snapshots of %d vertices, successive similarity %.4f\n",
+		egs.Len(), egs.N(), egs.AvgSuccessiveMES())
+
+	// 2. Derive the evolving matrix sequence A_i = I − d·W_i for RWR.
+	const damping = 0.85
+	ems := graph.DeriveEMS(egs, graph.RWRMatrix(damping))
+
+	// 3. Run CLUDE: cluster the sequence (α = 0.95), order each cluster
+	//    by the Markowitz ordering of its union matrix, decompose the
+	//    first member fully and update the rest incrementally inside
+	//    the cluster-wide static structure. The callback receives
+	//    ready-to-use factors for every snapshot, in order.
+	const seedNode = 7
+	res, err := core.Run(ems, core.CLUDE, core.Options{
+		Alpha: 0.95,
+		OnFactors: func(i int, s *lu.Solver) {
+			eng := measures.NewEngineFromSolver(egs.Snapshots[i], damping, s)
+			rwr := eng.RWR(seedNode)
+			top := measures.TopK(rwr, 3)
+			fmt.Printf("snapshot %2d: closest to node %d → %v\n", i, seedNode, top)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. What CLUDE did under the hood.
+	fmt.Printf("\nclusters: %d  full decompositions: %d  Bennett updates: %d rank-1 terms\n",
+		len(res.Clusters), len(res.Clusters), res.Bennett.Rank1Updates)
+	fmt.Printf("phase times: clustering %v, ordering %v, full LU %v, Bennett %v\n",
+		res.Times.Clustering, res.Times.Ordering, res.Times.FullLU, res.Times.Bennett)
+}

@@ -1,0 +1,402 @@
+package bennett
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lu"
+	"repro/internal/sparse"
+)
+
+// DropTolerance is the magnitude below which an out-of-structure value
+// produced by a static update is silently discarded (counted in
+// Stats.Dropped). Values above it signal that the frozen structure does
+// not cover the update and yield ErrOutOfPattern.
+const DropTolerance = 1e-9
+
+// PropagationCutoff truncates the y/z closure of the recurrence:
+// vector entries whose magnitude never exceeds the cutoff are not
+// propagated further. For the diagonally dominant matrices of
+// evolving-graph measures the entries decay geometrically along the
+// elimination order, so the cutoff turns an O(nnz(L+U)) worst-case
+// reach into the short effective reach that makes incremental updating
+// worthwhile — at a per-update factor error of cutoff magnitude, far
+// below the accuracy the measures need. Set to 0 to disable (tests
+// exercise both settings).
+const PropagationCutoff = 1e-10
+
+// ErrOutOfPattern reports that a static-structure update produced
+// significant fill outside the frozen symbolic pattern. Under CLUDE
+// this cannot happen for matrices within the USSP's cluster (Theorem
+// 1); seeing it means the update was applied to a matrix outside the
+// cluster.
+var ErrOutOfPattern = errors.New("bennett: fill outside the static factor structure")
+
+// Stats accumulates profiling information across updates.
+type Stats struct {
+	Rank1Updates int // rank-1 terms applied
+	StepsTouched int // elimination steps visited
+	Dropped      int // negligible out-of-structure values discarded (static)
+}
+
+// scratch holds the dense work vectors of the recurrence: the evolving
+// y and z vectors, membership flags, and the sorted support index
+// lists. One scratch serves a whole delta (it is reset between rank-1
+// terms) so per-term allocation is O(support), not O(n).
+type scratch struct {
+	y, z     []float64
+	inY, inZ []bool
+	ysupp    []int
+	zsupp    []int
+	newIdx   []int
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		y:   make([]float64, n),
+		z:   make([]float64, n),
+		inY: make([]bool, n),
+		inZ: make([]bool, n),
+	}
+}
+
+// load initializes the supports from sparse vectors (entries keyed by
+// Row; values accumulate).
+func (sc *scratch) load(ys, zs []sparse.Entry) {
+	for _, e := range ys {
+		sc.y[e.Row] += e.Val
+		if !sc.inY[e.Row] {
+			sc.inY[e.Row] = true
+			sc.ysupp = append(sc.ysupp, e.Row)
+		}
+	}
+	for _, e := range zs {
+		sc.z[e.Row] += e.Val
+		if !sc.inZ[e.Row] {
+			sc.inZ[e.Row] = true
+			sc.zsupp = append(sc.zsupp, e.Row)
+		}
+	}
+	sort.Ints(sc.ysupp)
+	sort.Ints(sc.zsupp)
+}
+
+// reset zeroes everything the last term touched.
+func (sc *scratch) reset() {
+	for _, j := range sc.ysupp {
+		sc.y[j] = 0
+		sc.inY[j] = false
+	}
+	for _, j := range sc.zsupp {
+		sc.z[j] = 0
+		sc.inZ[j] = false
+	}
+	sc.ysupp = sc.ysupp[:0]
+	sc.zsupp = sc.zsupp[:0]
+}
+
+// mergeTail merges the sorted, disjoint list add into the sorted slice
+// supp, where every element of add is greater than supp[from-1] (all
+// insertions land in the tail). Returns the grown slice.
+func mergeTail(supp []int, from int, add []int) []int {
+	if len(add) == 0 {
+		return supp
+	}
+	old := len(supp)
+	supp = append(supp, add...)
+	// Merge supp[from:old] and add from the back into supp[from:].
+	i, j, w := old-1, len(add)-1, len(supp)-1
+	for j >= 0 {
+		if i >= from && supp[i] > add[j] {
+			supp[w] = supp[i]
+			i--
+		} else {
+			supp[w] = add[j]
+			j--
+		}
+		w--
+	}
+	return supp
+}
+
+// UpdateStatic applies ∆A (entries of A_new − A_old, in the reordered
+// index space of the factors) to a static container in place. The
+// container's frozen structure must cover all significant fill; under
+// CLUDE that is guaranteed by the cluster USSP (Theorem 1).
+func UpdateStatic(f *lu.StaticFactors, delta []sparse.Entry, st *Stats) error {
+	if st == nil {
+		st = &Stats{}
+	}
+	sc := newScratch(f.Dim())
+	return applyDelta(delta, sc, st, func(sigma float64, sc *scratch, st *Stats) error {
+		return rank1Static(f, sigma, sc, st)
+	})
+}
+
+// UpdateDynamic applies ∆A to a dynamic (linked-list) container in
+// place, splicing in new nodes for fill as the traditional incremental
+// algorithm must.
+func UpdateDynamic(d *lu.DynamicFactors, delta []sparse.Entry, st *Stats) error {
+	if st == nil {
+		st = &Stats{}
+	}
+	sc := newScratch(d.Dim())
+	return applyDelta(delta, sc, st, func(sigma float64, sc *scratch, st *Stats) error {
+		return rank1Dynamic(d, sigma, sc, st)
+	})
+}
+
+// Rank1Static applies the single update A ← A + σ·y·zᵀ to a static
+// container (y, z given sparsely). Exposed for tests and benchmarks.
+func Rank1Static(f *lu.StaticFactors, sigma float64, y, z []sparse.Entry, st *Stats) error {
+	if st == nil {
+		st = &Stats{}
+	}
+	sc := newScratch(f.Dim())
+	sc.load(y, z)
+	st.Rank1Updates++
+	return rank1Static(f, sigma, sc, st)
+}
+
+// Rank1Dynamic is the dynamic-container analogue of Rank1Static.
+func Rank1Dynamic(d *lu.DynamicFactors, sigma float64, y, z []sparse.Entry, st *Stats) error {
+	if st == nil {
+		st = &Stats{}
+	}
+	sc := newScratch(d.Dim())
+	sc.load(y, z)
+	st.Rank1Updates++
+	return rank1Dynamic(d, sigma, sc, st)
+}
+
+// applyDelta splits ∆A into rank-1 terms and applies them
+// sequentially. The split goes along whichever dimension has fewer
+// distinct indices — per-row terms e_r·wᵀ or per-column terms w·e_cᵀ —
+// because the update rank (and hence the total cost) is
+// min(#rows, #cols). Evolving-graph matrices make this matter: an edge
+// change renormalizes one whole matrix column, so deltas concentrate in
+// few columns but spread over many rows.
+func applyDelta(delta []sparse.Entry, sc *scratch, st *Stats, run func(float64, *scratch, *Stats) error) error {
+	if len(delta) == 0 {
+		return nil
+	}
+	rowSet := map[int]struct{}{}
+	colSet := map[int]struct{}{}
+	for _, e := range delta {
+		rowSet[e.Row] = struct{}{}
+		colSet[e.Col] = struct{}{}
+	}
+	byCol := len(colSet) < len(rowSet)
+
+	groups := map[int][]sparse.Entry{}
+	for _, e := range delta {
+		if byCol {
+			// z = e_c, y holds the column entries keyed by row.
+			groups[e.Col] = append(groups[e.Col], sparse.Entry{Row: e.Row, Val: e.Val})
+		} else {
+			// y = e_r, z holds the row entries keyed by column.
+			groups[e.Row] = append(groups[e.Row], sparse.Entry{Row: e.Col, Val: e.Val})
+		}
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	unit := []sparse.Entry{{Row: 0, Val: 1}}
+	for _, k := range keys {
+		sc.reset()
+		unit[0].Row = k
+		if byCol {
+			sc.load(groups[k], unit)
+		} else {
+			sc.load(unit, groups[k])
+		}
+		st.Rank1Updates++
+		if err := run(1, sc, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rank1Static runs the Bennett recurrence (see doc.go) against the
+// frozen arrays of a StaticFactors. All passes are merged walks of
+// sorted index slices; out-of-structure positions must carry negligible
+// values or the update fails with ErrOutOfPattern.
+func rank1Static(f *lu.StaticFactors, sigma float64, sc *scratch, st *Stats) error {
+	n := f.Dim()
+	py, pz := 0, 0
+	for py < len(sc.ysupp) || pz < len(sc.zsupp) {
+		i := n
+		if py < len(sc.ysupp) {
+			i = sc.ysupp[py]
+		}
+		if pz < len(sc.zsupp) && sc.zsupp[pz] < i {
+			i = sc.zsupp[pz]
+		}
+		for py < len(sc.ysupp) && sc.ysupp[py] <= i {
+			py++
+		}
+		for pz < len(sc.zsupp) && sc.zsupp[pz] <= i {
+			pz++
+		}
+		yi, zi := sc.y[i], sc.z[i]
+		if math.Abs(yi) <= PropagationCutoff && math.Abs(zi) <= PropagationCutoff {
+			continue
+		}
+		st.StepsTouched++
+		di := f.D[i]
+		dip := di + sigma*yi*zi
+		if math.Abs(dip) < lu.PivotTolerance {
+			return &lu.SingularError{Pivot: i, Value: dip}
+		}
+
+		// ---- L column i and y propagation ----
+		lo, hi := f.LColPtr[i], f.LColPtr[i+1]
+		rows := f.LRowIdx[lo:hi]
+		vals := f.LVal[lo:hi]
+		sc.newIdx = sc.newIdx[:0]
+		switch {
+		case zi != 0 && yi != 0:
+			for p, j := range rows {
+				lv := vals[p]
+				vals[p] = (di*lv + sigma*zi*sc.y[j]) / dip
+				if lv != 0 {
+					ynew := sc.y[j] - yi*lv
+					if !sc.inY[j] && math.Abs(ynew) > PropagationCutoff {
+						sc.inY[j] = true
+						sc.newIdx = append(sc.newIdx, j)
+					}
+					sc.y[j] = ynew
+				}
+			}
+		case zi != 0: // yi == 0: dip == di; only positions with y_j != 0 move
+			// No y propagation happens here, so instead of walking the
+			// whole column we visit just the support — a direct indexed
+			// access the frozen array structure affords (and the
+			// linked-list container cannot; see paper §4 profiling).
+			for _, j := range sc.ysupp[py:] {
+				if sc.y[j] == 0 {
+					continue
+				}
+				p := sort.SearchInts(rows, j)
+				if p < len(rows) && rows[p] == j {
+					vals[p] += sigma * zi * sc.y[j] / di
+					continue
+				}
+				v := sigma * zi * sc.y[j] / di
+				if math.Abs(v) <= DropTolerance {
+					st.Dropped++
+					continue
+				}
+				return fmt.Errorf("%w (L position %d,%d, value %g)", ErrOutOfPattern, j, i, v)
+			}
+		default: // yi != 0, zi == 0: L unchanged, only y propagates
+			for p, j := range rows {
+				if lv := vals[p]; lv != 0 {
+					ynew := sc.y[j] - yi*lv
+					if !sc.inY[j] && math.Abs(ynew) > PropagationCutoff {
+						sc.inY[j] = true
+						sc.newIdx = append(sc.newIdx, j)
+					}
+					sc.y[j] = ynew
+				}
+			}
+		}
+		if zi != 0 && yi != 0 {
+			// Out-of-structure positions: supp(y) ∩ (i, n) \ rows.
+			// (The yi == 0 case checked them inline above.)
+			if err := staticExtras(sc.ysupp[py:], rows, sc.y, sigma*zi/dip, st); err != nil {
+				return err
+			}
+		}
+		sc.ysupp = mergeTail(sc.ysupp, py, sc.newIdx)
+
+		// ---- U row i and z propagation ----
+		ulo, uhi := f.URowPtr[i], f.URowPtr[i+1]
+		cols := f.UColIdx[ulo:uhi]
+		uvals := f.UVal[ulo:uhi]
+		sc.newIdx = sc.newIdx[:0]
+		switch {
+		case yi != 0 && zi != 0:
+			for p, j := range cols {
+				uv := uvals[p]
+				uvals[p] = (di*uv + sigma*yi*sc.z[j]) / dip
+				if uv != 0 {
+					znew := sc.z[j] - zi*uv
+					if !sc.inZ[j] && math.Abs(znew) > PropagationCutoff {
+						sc.inZ[j] = true
+						sc.newIdx = append(sc.newIdx, j)
+					}
+					sc.z[j] = znew
+				}
+			}
+		case yi != 0: // zi == 0: only positions with z_j != 0 move
+			for _, j := range sc.zsupp[pz:] {
+				if sc.z[j] == 0 {
+					continue
+				}
+				p := sort.SearchInts(cols, j)
+				if p < len(cols) && cols[p] == j {
+					uvals[p] += sigma * yi * sc.z[j] / di
+					continue
+				}
+				v := sigma * yi * sc.z[j] / di
+				if math.Abs(v) <= DropTolerance {
+					st.Dropped++
+					continue
+				}
+				return fmt.Errorf("%w (U position %d,%d, value %g)", ErrOutOfPattern, i, j, v)
+			}
+		default: // zi != 0, yi == 0: U unchanged, z propagates
+			for p, j := range cols {
+				if uv := uvals[p]; uv != 0 {
+					znew := sc.z[j] - zi*uv
+					if !sc.inZ[j] && math.Abs(znew) > PropagationCutoff {
+						sc.inZ[j] = true
+						sc.newIdx = append(sc.newIdx, j)
+					}
+					sc.z[j] = znew
+				}
+			}
+		}
+		if yi != 0 && zi != 0 {
+			if err := staticExtras(sc.zsupp[pz:], cols, sc.z, sigma*yi/dip, st); err != nil {
+				return err
+			}
+		}
+		sc.zsupp = mergeTail(sc.zsupp, pz, sc.newIdx)
+
+		sigma *= di / dip
+		f.D[i] = dip
+	}
+	return nil
+}
+
+// staticExtras scans the sorted support tail against the sorted
+// structural index list; any support position absent from the
+// structure would need new fill, which a frozen container cannot hold.
+func staticExtras(supp, structural []int, vec []float64, coef float64, st *Stats) error {
+	s := 0
+	for _, j := range supp {
+		if vec[j] == 0 {
+			continue
+		}
+		for s < len(structural) && structural[s] < j {
+			s++
+		}
+		if s < len(structural) && structural[s] == j {
+			continue // covered by the structural pass
+		}
+		v := coef * vec[j]
+		if math.Abs(v) <= DropTolerance {
+			st.Dropped++
+			continue
+		}
+		return fmt.Errorf("%w (position %d, value %g)", ErrOutOfPattern, j, v)
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package bennett
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lu"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// randomDominant mirrors the lu test helper: strictly diagonally
+// dominant matrices that never pivot-fail.
+func randomDominant(rng *xrand.Rand, n, extra int) *sparse.CSR {
+	c := sparse.NewCOO(n)
+	rowAbs := make([]float64, n)
+	for k := 0; k < extra; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		v := rng.Float64()*2 - 1
+		c.Add(i, j, v)
+		rowAbs[i] += math.Abs(v)
+	}
+	for i := 0; i < n; i++ {
+		c.Add(i, i, rowAbs[i]+2+rng.Float64())
+	}
+	return c.ToCSR()
+}
+
+// smallDelta perturbs a few existing off-diagonal entries and adds a
+// few new ones, keeping dominance (small magnitudes).
+func smallDelta(rng *xrand.Rand, a *sparse.CSR, edits int) []sparse.Entry {
+	n := a.N()
+	var out []sparse.Entry
+	for k := 0; k < edits; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		out = append(out, sparse.Entry{Row: i, Col: j, Val: (rng.Float64() - 0.5) * 0.2})
+	}
+	return out
+}
+
+func applyEntries(a *sparse.CSR, delta []sparse.Entry) *sparse.CSR {
+	c := sparse.NewCOO(a.N())
+	for i := 0; i < a.N(); i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			c.Add(i, j, vals[k])
+		}
+	}
+	for _, e := range delta {
+		c.Add(e.Row, e.Col, e.Val)
+	}
+	return c.ToCSR()
+}
+
+func TestRank1DynamicMatchesRefactorization(t *testing.T) {
+	rng := xrand.New(700)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(20)
+		a := randomDominant(rng, n, 3*n)
+		f := lu.NewStaticFactors(lu.Symbolic(a.Pattern()))
+		if err := f.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		d := lu.NewDynamicFactors(f)
+
+		r := rng.Intn(n)
+		var z []sparse.Entry
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			z = append(z, sparse.Entry{Row: rng.Intn(n), Val: (rng.Float64() - 0.5) * 0.3})
+		}
+		if err := Rank1Dynamic(d, 1, []sparse.Entry{{Row: r, Val: 1}}, z, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		var delta []sparse.Entry
+		for _, e := range z {
+			delta = append(delta, sparse.Entry{Row: r, Col: e.Row, Val: e.Val})
+		}
+		want := applyEntries(a, delta)
+		if !d.Reconstruct().EqualApprox(want, 1e-8) {
+			t.Fatalf("trial %d: dynamic rank-1 update wrong", trial)
+		}
+	}
+}
+
+func TestUpdateDynamicSequenceMatchesRefactorization(t *testing.T) {
+	rng := xrand.New(701)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(20)
+		a := randomDominant(rng, n, 4*n)
+		f := lu.NewStaticFactors(lu.Symbolic(a.Pattern()))
+		if err := f.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		d := lu.NewDynamicFactors(f)
+
+		cur := a
+		for step := 0; step < 4; step++ {
+			delta := smallDelta(rng, cur, 5)
+			next := applyEntries(cur, delta)
+			if err := UpdateDynamic(d, sparse.Delta(cur, next), nil); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			cur = next
+		}
+		if !d.Reconstruct().EqualApprox(cur, 1e-7) {
+			t.Fatalf("trial %d: dynamic multi-step update diverged", trial)
+		}
+	}
+}
+
+func TestUpdateStaticWithinUSSP(t *testing.T) {
+	// Build the USSP of {A, B} and verify Bennett can walk A→B inside
+	// the frozen structure, matching a fresh factorization of B.
+	rng := xrand.New(702)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(18)
+		a := randomDominant(rng, n, 3*n)
+		delta := smallDelta(rng, a, 6)
+		b := applyEntries(a, delta)
+
+		union := a.Pattern().Union(b.Pattern())
+		f := lu.NewStaticFactors(lu.Symbolic(union))
+		if err := f.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		var st Stats
+		if err := UpdateStatic(f, sparse.Delta(a, b), &st); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !f.Reconstruct().EqualApprox(b, 1e-7) {
+			t.Fatalf("trial %d: static update wrong", trial)
+		}
+		if st.Rank1Updates == 0 {
+			t.Fatal("stats not recorded")
+		}
+	}
+}
+
+func TestUpdateStaticOutOfPatternDetected(t *testing.T) {
+	// Factor a diagonal matrix in its tight (diagonal-only) structure,
+	// then apply a delta that must create off-diagonal factor entries.
+	n := 5
+	c := sparse.NewCOO(n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 3)
+	}
+	a := c.ToCSR()
+	f := lu.NewStaticFactors(lu.Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	delta := []sparse.Entry{{Row: 2, Col: 0, Val: 1}, {Row: 0, Col: 2, Val: 1}}
+	err := UpdateStatic(f, delta, nil)
+	if err == nil {
+		t.Fatal("expected ErrOutOfPattern, got nil")
+	}
+}
+
+func TestUpdateDynamicInsertsFill(t *testing.T) {
+	// Same scenario on the dynamic container must succeed by splicing
+	// new nodes.
+	n := 5
+	c := sparse.NewCOO(n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 3)
+	}
+	a := c.ToCSR()
+	f := lu.NewStaticFactors(lu.Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	d := lu.NewDynamicFactors(f)
+	before := d.Size()
+	delta := []sparse.Entry{{Row: 2, Col: 0, Val: 1}, {Row: 0, Col: 2, Val: 1}}
+	if err := UpdateDynamic(d, delta, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() <= before {
+		t.Error("dynamic structure did not grow")
+	}
+	if d.Inserts == 0 {
+		t.Error("no inserts counted")
+	}
+	want := applyEntries(a, delta)
+	if !d.Reconstruct().EqualApprox(want, 1e-9) {
+		t.Error("dynamic fill-inserting update wrong")
+	}
+}
+
+func TestUpdateSingularDetected(t *testing.T) {
+	a := sparse.NewCSRFromEntries(2, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1},
+	})
+	f := lu.NewStaticFactors(lu.Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	// Delta drives D[0] to zero.
+	err := UpdateStatic(f, []sparse.Entry{{Row: 0, Col: 0, Val: -1}}, nil)
+	if err == nil {
+		t.Fatal("singular update not detected")
+	}
+	if _, ok := err.(*lu.SingularError); !ok {
+		t.Fatalf("error type %T, want *lu.SingularError", err)
+	}
+}
+
+func TestUpdateEmptyDeltaNoop(t *testing.T) {
+	rng := xrand.New(703)
+	a := randomDominant(rng, 10, 30)
+	f := lu.NewStaticFactors(lu.Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Reconstruct()
+	if err := UpdateStatic(f, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Reconstruct().EqualApprox(before, 0) {
+		t.Error("empty delta changed factors")
+	}
+}
+
+func TestSolveAfterUpdate(t *testing.T) {
+	// End-to-end: factors updated by Bennett must solve the new system.
+	rng := xrand.New(704)
+	n := 25
+	a := randomDominant(rng, n, 4*n)
+	delta := smallDelta(rng, a, 8)
+	b := applyEntries(a, delta)
+
+	union := a.Pattern().Union(b.Pattern())
+	f := lu.NewStaticFactors(lu.Symbolic(union))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateStatic(f, sparse.Delta(a, b), nil); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.Float64()*2 - 1
+	}
+	rhs := b.MulVec(want)
+	f.SolveInPlace(rhs)
+	if d := sparse.NormInfDiff(rhs, want); d > 1e-7 {
+		t.Errorf("solve after update error %g", d)
+	}
+}
+
+func TestEdgeDeletionDelta(t *testing.T) {
+	// Removing an entry (value returns to zero) must also be handled.
+	rng := xrand.New(705)
+	n := 12
+	a := randomDominant(rng, n, 4*n)
+	// Pick an existing off-diagonal entry to delete.
+	var di, dj int
+	var dv float64
+	found := false
+	for i := 0; i < n && !found; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			if j != i && vals[k] != 0 {
+				di, dj, dv = i, j, vals[k]
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no off-diagonal entry")
+	}
+	delta := []sparse.Entry{{Row: di, Col: dj, Val: -dv}}
+	b := applyEntries(a, delta)
+	f := lu.NewStaticFactors(lu.Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateStatic(f, delta, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Reconstruct().EqualApprox(b, 1e-8) {
+		t.Error("deletion update wrong")
+	}
+}

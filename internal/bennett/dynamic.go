@@ -1,0 +1,124 @@
+package bennett
+
+import (
+	"math"
+
+	"repro/internal/lu"
+)
+
+// rank1Dynamic runs the Bennett recurrence against a linked-list
+// container. Each phase is a single merged walk of the (sorted) factor
+// list and the (sorted) support tail; genuinely new fill positions are
+// spliced into the list during the walk, which is exactly the
+// restructuring cost the paper profiles for the traditional
+// incremental algorithm.
+func rank1Dynamic(d *lu.DynamicFactors, sigma float64, sc *scratch, st *Stats) error {
+	n := d.Dim()
+	py, pz := 0, 0
+	for py < len(sc.ysupp) || pz < len(sc.zsupp) {
+		i := n
+		if py < len(sc.ysupp) {
+			i = sc.ysupp[py]
+		}
+		if pz < len(sc.zsupp) && sc.zsupp[pz] < i {
+			i = sc.zsupp[pz]
+		}
+		for py < len(sc.ysupp) && sc.ysupp[py] <= i {
+			py++
+		}
+		for pz < len(sc.zsupp) && sc.zsupp[pz] <= i {
+			pz++
+		}
+		yi, zi := sc.y[i], sc.z[i]
+		if math.Abs(yi) <= PropagationCutoff && math.Abs(zi) <= PropagationCutoff {
+			continue
+		}
+		st.StepsTouched++
+		di := d.D[i]
+		dip := di + sigma*yi*zi
+		if math.Abs(dip) < lu.PivotTolerance {
+			return &lu.SingularError{Pivot: i, Value: dip}
+		}
+
+		// L column i: values, y propagation, fill splicing.
+		sc.newIdx = sc.newIdx[:0]
+		walkDynamic(d, true, i, sc.ysupp[py:], sc.y, sc.inY, &sc.newIdx, di, dip, sigma, yi, zi)
+		sc.ysupp = mergeTail(sc.ysupp, py, sc.newIdx)
+
+		// U row i: values, z propagation, fill splicing.
+		sc.newIdx = sc.newIdx[:0]
+		walkDynamic(d, false, i, sc.zsupp[pz:], sc.z, sc.inZ, &sc.newIdx, di, dip, sigma, zi, yi)
+		sc.zsupp = mergeTail(sc.zsupp, pz, sc.newIdx)
+
+		sigma *= di / dip
+		d.D[i] = dip
+	}
+	return nil
+}
+
+// walkDynamic performs one factor phase at step i. For the L phase
+// (isL true) vec is y, own = y_i, other = z_i: the value update is
+// newL = (d·L + σ·z_i·y_j)/d' and propagation is y_j -= y_i·L(j,i).
+// The U phase is the exact mirror (vec = z, own = z_i, other = y_i).
+// supp must be sorted and contain only indices > i; it lists every
+// position where vec may be non-zero beyond i.
+func walkDynamic(d *lu.DynamicFactors, isL bool, i int, supp []int,
+	vec []float64, inSupp []bool, newIdx *[]int,
+	di, dip, sigma, own, other float64) {
+
+	heads := d.UHead
+	if isL {
+		heads = d.LHead
+	}
+	prev := -1
+	cur := heads[i]
+	si := 0
+	for cur != -1 || si < len(supp) {
+		const maxInt = int(^uint(0) >> 1)
+		jList, jSupp := maxInt, maxInt
+		if cur != -1 {
+			jList = d.Nodes[cur].Idx
+		}
+		if si < len(supp) {
+			jSupp = supp[si]
+		}
+		if jList <= jSupp {
+			// Structural position (possibly also in the support).
+			d.ScanSteps++
+			node := &d.Nodes[cur]
+			v := node.Val
+			if other != 0 {
+				node.Val = (di*v + sigma*other*vec[jList]) / dip
+			}
+			if own != 0 && v != 0 {
+				vnew := vec[jList] - own*v
+				if !inSupp[jList] && math.Abs(vnew) > PropagationCutoff {
+					inSupp[jList] = true
+					*newIdx = append(*newIdx, jList)
+				}
+				vec[jList] = vnew
+			}
+			if jList == jSupp {
+				si++
+			}
+			prev = cur
+			cur = node.Next
+			continue
+		}
+		// Support-only position: genuinely new fill when the update
+		// term σ·other·vec[j]/d' is non-zero.
+		if other != 0 && vec[jSupp] != 0 {
+			v := sigma * other * vec[jSupp] / dip
+			if math.Abs(v) <= PropagationCutoff {
+				si++
+				continue
+			}
+			if isL {
+				prev = d.SpliceL(i, prev, cur, jSupp, v)
+			} else {
+				prev = d.SpliceU(i, prev, cur, jSupp, v)
+			}
+		}
+		si++
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/lu"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// driftingPatterns builds a sequence of symmetric patterns that drift
+// gradually: each step flips a few off-diagonal (mirrored) positions.
+func driftingPatterns(rng *xrand.Rand, n, T, churn int) []*sparse.Pattern {
+	type pos struct{ i, j int }
+	cur := map[pos]bool{}
+	for i := 0; i < n; i++ {
+		cur[pos{i, i}] = true
+	}
+	for k := 0; k < 4*n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			cur[pos{i, j}] = true
+			cur[pos{j, i}] = true
+		}
+	}
+	mat := func() *sparse.Pattern {
+		coords := make([]sparse.Coord, 0, len(cur))
+		for p := range cur {
+			coords = append(coords, sparse.Coord{Row: p.i, Col: p.j})
+		}
+		return sparse.NewPattern(n, coords)
+	}
+	out := []*sparse.Pattern{mat()}
+	for t := 1; t < T; t++ {
+		for c := 0; c < churn; c++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			p1, p2 := pos{i, j}, pos{j, i}
+			if cur[p1] {
+				delete(cur, p1)
+				delete(cur, p2)
+			} else {
+				cur[p1] = true
+				cur[p2] = true
+			}
+		}
+		out = append(out, mat())
+	}
+	return out
+}
+
+func TestAlphaCoversSequence(t *testing.T) {
+	rng := xrand.New(800)
+	pats := driftingPatterns(rng, 30, 40, 4)
+	cs := Alpha(pats, 0.95)
+	// Clusters must partition [0, T) contiguously.
+	at := 0
+	for _, c := range cs {
+		if c.Start != at {
+			t.Fatalf("gap or overlap at %d (cluster starts %d)", at, c.Start)
+		}
+		if c.Len() <= 0 {
+			t.Fatal("empty cluster")
+		}
+		at = c.End
+	}
+	if at != len(pats) {
+		t.Fatalf("clusters end at %d, want %d", at, len(pats))
+	}
+}
+
+func TestAlphaUnionCoversMembers(t *testing.T) {
+	rng := xrand.New(801)
+	pats := driftingPatterns(rng, 25, 30, 5)
+	for _, c := range Alpha(pats, 0.9) {
+		for i := c.Start; i < c.End; i++ {
+			if !pats[i].Subset(c.Union) {
+				t.Fatalf("member %d not covered by cluster union", i)
+			}
+		}
+	}
+}
+
+func TestAlphaBoundedness(t *testing.T) {
+	// Every produced cluster must itself satisfy the α-bound
+	// (Definition 8) since the algorithm only admits under the bound.
+	rng := xrand.New(802)
+	pats := driftingPatterns(rng, 25, 30, 6)
+	alpha := 0.93
+	for _, c := range Alpha(pats, alpha) {
+		inter, union := pats[c.Start], pats[c.Start]
+		for i := c.Start + 1; i < c.End; i++ {
+			inter = inter.Intersect(pats[i])
+			union = union.Union(pats[i])
+		}
+		if got := sparse.MES(inter, union); got < alpha {
+			t.Fatalf("cluster [%d,%d) mes %v < alpha %v", c.Start, c.End, got, alpha)
+		}
+	}
+}
+
+func TestAlphaMonotoneInAlpha(t *testing.T) {
+	// A larger α is a tighter requirement, so it cannot produce fewer
+	// clusters.
+	rng := xrand.New(803)
+	pats := driftingPatterns(rng, 30, 40, 5)
+	prev := 0
+	for _, a := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+		k := len(Alpha(pats, a))
+		if k < prev {
+			t.Fatalf("alpha %v gave %d clusters, fewer than looser bound's %d", a, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestAlphaExtremes(t *testing.T) {
+	rng := xrand.New(804)
+	pats := driftingPatterns(rng, 20, 15, 4)
+	if got := len(Alpha(pats, 0)); got != 1 {
+		t.Errorf("alpha=0 gave %d clusters, want 1", got)
+	}
+	// alpha=1 splits whenever patterns differ at all; with churn > 0
+	// that is every step.
+	if got := len(Alpha(pats, 1)); got != len(pats) {
+		t.Errorf("alpha=1 gave %d clusters, want %d", got, len(pats))
+	}
+	single := Alpha(pats[:1], 0.9)
+	if len(single) != 1 || single[0].Len() != 1 {
+		t.Error("single-matrix EMS should give one singleton cluster")
+	}
+}
+
+func TestBetaCINCConstraintHolds(t *testing.T) {
+	rng := xrand.New(805)
+	pats := driftingPatterns(rng, 25, 20, 4)
+	beta := 0.15
+	for _, qc := range BetaCINC(pats, beta, nil) {
+		for k := 0; k < qc.Cluster.Len(); k++ {
+			i := qc.Cluster.Start + k
+			starSz := MinDegreeStar(i, pats[i])
+			sz := lu.SymbolicSize(pats[i], qc.Ordering)
+			if float64(sz-starSz) > beta*float64(starSz)+1e-9 {
+				t.Fatalf("matrix %d violates beta constraint: sz=%d star=%d", i, sz, starSz)
+			}
+			if qc.SSPSizes[k] != sz {
+				t.Fatalf("recorded SSPSize %d != recomputed %d", qc.SSPSizes[k], sz)
+			}
+		}
+	}
+}
+
+func TestBetaCLUDEConstraintHolds(t *testing.T) {
+	rng := xrand.New(806)
+	pats := driftingPatterns(rng, 25, 20, 4)
+	beta := 0.2
+	for _, qc := range BetaCLUDE(pats, beta, nil) {
+		for k := 0; k < qc.Cluster.Len(); k++ {
+			i := qc.Cluster.Start + k
+			starSz := MinDegreeStar(i, pats[i])
+			// The true constraint (implied by the shortcut).
+			sz := lu.SymbolicSize(pats[i], qc.Ordering)
+			if float64(sz-starSz) > beta*float64(starSz)+1e-9 {
+				t.Fatalf("matrix %d violates beta constraint: sz=%d star=%d", i, sz, starSz)
+			}
+		}
+	}
+}
+
+func TestBetaZeroGivesMarkowitzQuality(t *testing.T) {
+	// β = 0 forces ql ≤ 0 for every matrix: each matrix's ordering must
+	// be at least as good as its own MinDegree ordering. (Strictly
+	// better is possible — greedy MinDegree is not optimal.)
+	rng := xrand.New(807)
+	pats := driftingPatterns(rng, 20, 10, 5)
+	for _, qc := range BetaCINC(pats, 0, nil) {
+		for k := 0; k < qc.Cluster.Len(); k++ {
+			i := qc.Cluster.Start + k
+			if qc.SSPSizes[k] > MinDegreeStar(i, pats[i]) {
+				t.Fatalf("beta=0: matrix %d has quality loss", i)
+			}
+		}
+	}
+}
+
+func TestBetaPartitionContiguous(t *testing.T) {
+	rng := xrand.New(808)
+	pats := driftingPatterns(rng, 20, 15, 4)
+	for name, qcs := range map[string][]QCResult{
+		"cinc":  BetaCINC(pats, 0.1, nil),
+		"clude": BetaCLUDE(pats, 0.1, nil),
+	} {
+		at := 0
+		for _, qc := range qcs {
+			if qc.Cluster.Start != at {
+				t.Fatalf("%s: gap at %d", name, at)
+			}
+			at = qc.Cluster.End
+			if !qc.Ordering.Valid() {
+				t.Fatalf("%s: invalid ordering", name)
+			}
+		}
+		if at != len(pats) {
+			t.Fatalf("%s: clusters end at %d, want %d", name, at, len(pats))
+		}
+	}
+}
+
+func TestBetaLargerBetaFewerClusters(t *testing.T) {
+	rng := xrand.New(809)
+	pats := driftingPatterns(rng, 25, 25, 5)
+	loose := len(BetaCINC(pats, 0.5, nil))
+	tight := len(BetaCINC(pats, 0.01, nil))
+	if loose > tight {
+		t.Errorf("looser beta gave more clusters (%d) than tighter (%d)", loose, tight)
+	}
+}

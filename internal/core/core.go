@@ -1,0 +1,382 @@
+// Package core implements the paper's contribution: the four
+// algorithms for the LUDEM problem (Definition 3) — BF, INC, CINC and
+// CLUDE (§4) — plus the quality-constrained LUDEM-QC variants (§5),
+// with the per-phase timing breakdown the evaluation section reports
+// (clustering time t_c, Markowitz time t_M, full LU decomposition time
+// t_d, Bennett time t_B).
+//
+// All algorithms stream through the evolving matrix sequence: as soon
+// as matrix i's factors are current, the OnFactors callback (if any)
+// receives a ready-to-use solver for A_i. This is the intended usage
+// pattern — compute the measure series (PageRank, RWR, …) snapshot by
+// snapshot — and keeps memory bounded for long sequences.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bennett"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// Algorithm selects a LUDEM solver.
+type Algorithm string
+
+// The four algorithms of paper §4.
+const (
+	BF    Algorithm = "BF"    // Markowitz + full LU per matrix (baseline)
+	INC   Algorithm = "INC"   // one ordering, Bennett across the whole EMS
+	CINC  Algorithm = "CINC"  // α-clusters, first-matrix ordering, dynamic Bennett
+	CLUDE Algorithm = "CLUDE" // α-clusters, A∪ ordering, USSP static Bennett
+)
+
+// Options configures a run.
+type Options struct {
+	// Alpha is the α-clustering similarity threshold for CINC/CLUDE.
+	Alpha float64
+	// OnFactors, when non-nil, is invoked once per matrix index with a
+	// solver whose factors are current for that matrix. The solver is
+	// only valid during the callback (factors are updated in place for
+	// the next matrix afterwards).
+	OnFactors func(i int, s *lu.Solver)
+	// MeasureQuality computes |s̃p(A_i^{O_i})| for every matrix after
+	// the run (outside the timed section) so quality-loss can be
+	// reported. BF always records it (its orderings come with sizes for
+	// free).
+	MeasureQuality bool
+	// StarSizes optionally supplies precomputed reference sizes
+	// |s̃p(A_i*)| to the LUDEM-QC clustering (see StarSizes), so a
+	// β-sweep over the same EMS computes them once instead of once per
+	// run. Ignored by the plain LUDEM algorithms.
+	StarSizes []int
+}
+
+// PhaseTimes is the execution-time breakdown of Figure 8(a).
+type PhaseTimes struct {
+	Clustering time.Duration // t_c: α- or β-clustering
+	Ordering   time.Duration // t_M: Markowitz / MinDegree runs
+	FullLU     time.Duration // t_d: symbolic + numeric full decompositions
+	Bennett    time.Duration // t_B: incremental updates (incl. reorder+delta prep)
+}
+
+// Total sums the phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Clustering + p.Ordering + p.FullLU + p.Bennett
+}
+
+// Result is the outcome of running a LUDEM algorithm over an EMS.
+type Result struct {
+	Algorithm Algorithm
+	T         int
+
+	// SSPSizes[i] = |s̃p(A_i^{O_i})| when quality measurement is on
+	// (always on for BF); nil otherwise.
+	SSPSizes []int
+	// Clusters are the [start, end) boundaries used (one cluster
+	// covering everything for BF — each BF "cluster" is a singleton —
+	// and INC).
+	Clusters []cluster.Cluster
+	// Times is the per-phase breakdown; Wall is the timed total.
+	Times PhaseTimes
+	Wall  time.Duration
+
+	// Refactorizations counts Bennett failures that fell back to a
+	// full decomposition (0 in all paper-like workloads).
+	Refactorizations int
+	// Bennett accumulates update statistics; DynamicInserts and
+	// DynamicScanSteps expose the list-restructuring work of the
+	// dynamic container (INC/CINC only).
+	Bennett          bennett.Stats
+	DynamicInserts   int
+	DynamicScanSteps int
+	// StructureSizes[c] is the factor-structure size used by cluster c
+	// (USSP size for CLUDE, final accreted size for INC/CINC, tight
+	// size for BF's per-matrix runs).
+	StructureSizes []int
+}
+
+// Run executes alg over the EMS.
+func Run(ems *graph.EMS, alg Algorithm, opt Options) (*Result, error) {
+	switch alg {
+	case BF:
+		return runBF(ems, opt)
+	case INC:
+		return runINC(ems, opt)
+	case CINC:
+		return runClustered(ems, opt, false)
+	case CLUDE:
+		return runClustered(ems, opt, true)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+}
+
+// patterns extracts the sparsity patterns of the EMS.
+func patterns(ems *graph.EMS) []*sparse.Pattern {
+	ps := make([]*sparse.Pattern, ems.Len())
+	for i, a := range ems.Matrices {
+		ps[i] = a.Pattern()
+	}
+	return ps
+}
+
+// runBF decomposes every matrix from scratch under its own Markowitz
+// ordering. It is the quality reference (SSPSizes are the |s̃p(A*)| of
+// Definition 4) and the speed baseline.
+func runBF(ems *graph.EMS, opt Options) (*Result, error) {
+	res := &Result{Algorithm: BF, T: ems.Len(), SSPSizes: make([]int, ems.Len())}
+	start := time.Now()
+	for i, a := range ems.Matrices {
+		t0 := time.Now()
+		ord := order.Markowitz(a.Pattern())
+		res.Times.Ordering += time.Since(t0)
+		res.SSPSizes[i] = ord.SSPSize
+
+		t1 := time.Now()
+		solver, err := lu.FactorizeOrdered(a, ord.Ordering)
+		if err != nil {
+			return nil, fmt.Errorf("core: BF matrix %d: %w", i, err)
+		}
+		res.Times.FullLU += time.Since(t1)
+		res.StructureSizes = append(res.StructureSizes, solver.F.Size())
+		res.Clusters = append(res.Clusters, cluster.Cluster{Start: i, End: i + 1})
+		if opt.OnFactors != nil {
+			opt.OnFactors(i, solver)
+		}
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// runINC applies the Markowitz ordering of A_1 to the whole sequence
+// and updates a single dynamic factor structure with Bennett's
+// algorithm (paper §4, "Straightly Incremental").
+func runINC(ems *graph.EMS, opt Options) (*Result, error) {
+	res := &Result{Algorithm: INC, T: ems.Len()}
+	start := time.Now()
+
+	t0 := time.Now()
+	ord := order.Markowitz(ems.Matrices[0].Pattern())
+	res.Times.Ordering += time.Since(t0)
+
+	t1 := time.Now()
+	a0 := ems.Matrices[0].Permute(ord.Ordering)
+	static := lu.NewStaticFactors(lu.Symbolic(a0.Pattern()))
+	if err := static.Factorize(a0); err != nil {
+		return nil, fmt.Errorf("core: INC initial decomposition: %w", err)
+	}
+	dyn := lu.NewDynamicFactors(static)
+	res.Times.FullLU += time.Since(t1)
+
+	solver := &lu.Solver{F: dyn, O: ord.Ordering}
+	if opt.OnFactors != nil {
+		opt.OnFactors(0, solver)
+	}
+
+	prev := a0
+	for i := 1; i < ems.Len(); i++ {
+		t2 := time.Now()
+		cur := ems.Matrices[i].Permute(ord.Ordering)
+		delta := sparse.Delta(prev, cur)
+		err := bennett.UpdateDynamic(dyn, delta, &res.Bennett)
+		res.Times.Bennett += time.Since(t2)
+		if err != nil {
+			// Robustness fallback (never triggered by paper-like
+			// workloads): refactorize from scratch in the same order.
+			t3 := time.Now()
+			st := lu.NewStaticFactors(lu.Symbolic(cur.Pattern()))
+			if ferr := st.Factorize(cur); ferr != nil {
+				return nil, fmt.Errorf("core: INC matrix %d: update %v; refactorization %w", i, err, ferr)
+			}
+			dyn = lu.NewDynamicFactors(st)
+			solver.F = dyn
+			res.Refactorizations++
+			res.Times.FullLU += time.Since(t3)
+		}
+		prev = cur
+		if opt.OnFactors != nil {
+			opt.OnFactors(i, solver)
+		}
+	}
+	res.Wall = time.Since(start)
+	res.DynamicInserts = dyn.Inserts
+	res.DynamicScanSteps = dyn.ScanSteps
+	res.StructureSizes = []int{dyn.Size()}
+	res.Clusters = []cluster.Cluster{{Start: 0, End: ems.Len()}}
+
+	if opt.MeasureQuality {
+		res.SSPSizes = measureQuality(ems, func(int) sparse.Ordering { return ord.Ordering })
+	}
+	return res, nil
+}
+
+// runClustered implements CINC (useUnion=false: Algorithm 2 applied per
+// α-cluster) and CLUDE (useUnion=true: Algorithm 3 with the USSP static
+// structure).
+func runClustered(ems *graph.EMS, opt Options, useUnion bool) (*Result, error) {
+	alg := CINC
+	if useUnion {
+		alg = CLUDE
+	}
+	res := &Result{Algorithm: alg, T: ems.Len()}
+	start := time.Now()
+
+	tc := time.Now()
+	pats := patterns(ems)
+	clusters := cluster.Alpha(pats, opt.Alpha)
+	res.Times.Clustering = time.Since(tc)
+	res.Clusters = clusters
+
+	orderings := make([]sparse.Ordering, len(clusters))
+
+	for ci, cl := range clusters {
+		// --- Ordering for the cluster ---
+		t0 := time.Now()
+		var ord order.Result
+		if useUnion {
+			ord = order.Markowitz(cl.Union) // O∪ = O*(A∪), Alg. 3 line 2
+		} else {
+			ord = order.Markowitz(pats[cl.Start]) // O1 = O*(A1), Alg. 2 line 1
+		}
+		res.Times.Ordering += time.Since(t0)
+		orderings[ci] = ord.Ordering
+
+		// --- Full decomposition of the first cluster member ---
+		t1 := time.Now()
+		first := ems.Matrices[cl.Start].Permute(ord.Ordering)
+		var sym *lu.SymbolicLU
+		if useUnion {
+			// Symbolic decomposition of A∪^{O∪} gives the USSP; the
+			// static structure built from it serves the whole cluster
+			// (Alg. 3 lines 3–4).
+			sym = lu.Symbolic(cl.Union.Permute(ord.Ordering))
+		} else {
+			sym = lu.Symbolic(first.Pattern())
+		}
+		static := lu.NewStaticFactors(sym)
+		if err := static.Factorize(first); err != nil {
+			return nil, fmt.Errorf("core: %s cluster %d: %w", alg, ci, err)
+		}
+		var fac lu.Factors = static
+		var dyn *lu.DynamicFactors
+		if !useUnion {
+			dyn = lu.NewDynamicFactors(static)
+			fac = dyn
+		}
+		res.Times.FullLU += time.Since(t1)
+
+		solver := &lu.Solver{F: fac, O: ord.Ordering}
+		if opt.OnFactors != nil {
+			opt.OnFactors(cl.Start, solver)
+		}
+
+		// --- Bennett across the rest of the cluster ---
+		prev := first
+		for i := cl.Start + 1; i < cl.End; i++ {
+			t2 := time.Now()
+			cur := ems.Matrices[i].Permute(ord.Ordering)
+			delta := sparse.Delta(prev, cur)
+			var err error
+			if useUnion {
+				err = bennett.UpdateStatic(static, delta, &res.Bennett)
+			} else {
+				err = bennett.UpdateDynamic(dyn, delta, &res.Bennett)
+			}
+			res.Times.Bennett += time.Since(t2)
+			if err != nil {
+				t3 := time.Now()
+				if ferr := refactorInPlace(&fac, &static, &dyn, cur, useUnion, sym); ferr != nil {
+					return nil, fmt.Errorf("core: %s matrix %d: update %v; refactorization %w", alg, i, err, ferr)
+				}
+				solver.F = fac
+				res.Refactorizations++
+				res.Times.FullLU += time.Since(t3)
+			}
+			prev = cur
+			if opt.OnFactors != nil {
+				opt.OnFactors(i, solver)
+			}
+		}
+		if dyn != nil {
+			res.DynamicInserts += dyn.Inserts
+			res.DynamicScanSteps += dyn.ScanSteps
+			res.StructureSizes = append(res.StructureSizes, dyn.Size())
+		} else {
+			res.StructureSizes = append(res.StructureSizes, static.Size())
+		}
+	}
+	res.Wall = time.Since(start)
+
+	if opt.MeasureQuality {
+		res.SSPSizes = measureQuality(ems, func(i int) sparse.Ordering {
+			for ci, cl := range clusters {
+				if i >= cl.Start && i < cl.End {
+					return orderings[ci]
+				}
+			}
+			panic("core: matrix not covered by clusters")
+		})
+	}
+	return res, nil
+}
+
+// refactorInPlace rebuilds factors for cur after a failed incremental
+// update, preserving the container style of the algorithm.
+func refactorInPlace(fac *lu.Factors, static **lu.StaticFactors, dyn **lu.DynamicFactors, cur *sparse.CSR, useUnion bool, sym *lu.SymbolicLU) error {
+	if useUnion {
+		// The USSP container still covers cur; refill numerically.
+		if err := (*static).Factorize(cur); err != nil {
+			return err
+		}
+		*fac = *static
+		return nil
+	}
+	st := lu.NewStaticFactors(lu.Symbolic(cur.Pattern()))
+	if err := st.Factorize(cur); err != nil {
+		return err
+	}
+	*dyn = lu.NewDynamicFactors(st)
+	*fac = *dyn
+	return nil
+}
+
+// measureQuality computes |s̃p(A_i^{O_i})| for every matrix (untimed;
+// this is harness bookkeeping, not algorithm work).
+func measureQuality(ems *graph.EMS, ordOf func(i int) sparse.Ordering) []int {
+	out := make([]int, ems.Len())
+	for i, a := range ems.Matrices {
+		out[i] = lu.SymbolicSize(a.Pattern(), ordOf(i))
+	}
+	return out
+}
+
+// QualityLoss computes the per-matrix quality-loss series of
+// Definition 4 given the reference sizes |s̃p(A_i*)| from a BF run:
+// ql_i = (|s̃p(A_i^{O_i})| − |s̃p(A_i*)|) / |s̃p(A_i*)|.
+func QualityLoss(sspSizes, starSizes []int) []float64 {
+	if len(sspSizes) != len(starSizes) {
+		panic("core: quality series length mismatch")
+	}
+	out := make([]float64, len(sspSizes))
+	for i := range out {
+		out[i] = float64(sspSizes[i]-starSizes[i]) / float64(starSizes[i])
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

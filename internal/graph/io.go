@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The EGS text format is a deliberately trivial line format shared by
+// cmd/egsgen and ReadEGS so sequences can be stored, diffed and
+// consumed by tooling in any language:
+//
+//	egs <V> <T> <directed>
+//	snapshot 0 <m0>
+//	<u> <v>            (m0 edge lines)
+//	snapshot 1 <m1>
+//	...
+//
+// WriteEGS and ReadEGS round-trip exactly.
+
+// WriteEGS serializes an EGS in the text format.
+func WriteEGS(w io.Writer, s *EGS) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "egs %d %d %t\n", s.N(), s.Len(), s.Snapshots[0].Directed()); err != nil {
+		return err
+	}
+	for t, g := range s.Snapshots {
+		es := g.Edges()
+		if _, err := fmt.Fprintf(bw, "snapshot %d %d\n", t, len(es)); err != nil {
+			return err
+		}
+		for _, e := range es {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", e.From, e.To); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEGS parses the text format back into an EGS.
+func ReadEGS(r io.Reader) (*EGS, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	head, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("graph: empty EGS input")
+	}
+	var n, T int
+	var directed bool
+	if _, err := fmt.Sscanf(head, "egs %d %d %t", &n, &T, &directed); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %v", head, err)
+	}
+	if n <= 0 || T <= 0 {
+		return nil, fmt.Errorf("graph: non-positive dimensions in header %q", head)
+	}
+	snaps := make([]*Graph, 0, T)
+	for t := 0; t < T; t++ {
+		h, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("graph: truncated input at snapshot %d", t)
+		}
+		var idx, m int
+		if _, err := fmt.Sscanf(h, "snapshot %d %d", &idx, &m); err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad snapshot header %q", line, h)
+		}
+		if idx != t {
+			return nil, fmt.Errorf("graph: snapshot %d out of order (want %d)", idx, t)
+		}
+		edges := make([]Edge, 0, m)
+		for k := 0; k < m; k++ {
+			l, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("graph: truncated edge list in snapshot %d", t)
+			}
+			parts := strings.Fields(l)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, l)
+			}
+			u, err1 := strconv.Atoi(parts[0])
+			v, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil || u < 0 || u >= n || v < 0 || v >= n {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, l)
+			}
+			edges = append(edges, Edge{From: u, To: v})
+		}
+		snaps = append(snaps, New(n, directed, edges))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewEGS(snaps)
+}

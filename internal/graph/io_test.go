@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEGSRoundTrip(t *testing.T) {
+	a := New(4, true, []Edge{{0, 1}, {1, 2}, {3, 0}})
+	b := New(4, true, []Edge{{0, 1}, {2, 3}})
+	s, err := NewEGS([]*Graph{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEGS(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEGS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.N() != 4 || !back.Snapshots[0].Directed() {
+		t.Fatal("round-trip shape wrong")
+	}
+	for i, g := range s.Snapshots {
+		for _, e := range g.Edges() {
+			if !back.Snapshots[i].HasEdge(e.From, e.To) {
+				t.Errorf("edge %v missing after round trip", e)
+			}
+		}
+		if back.Snapshots[i].NumEdges() != g.NumEdges() {
+			t.Errorf("snapshot %d edge count wrong", i)
+		}
+	}
+}
+
+func TestEGSRoundTripUndirected(t *testing.T) {
+	a := New(3, false, []Edge{{2, 0}, {1, 2}})
+	s, _ := NewEGS([]*Graph{a})
+	var buf bytes.Buffer
+	if err := WriteEGS(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEGS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Snapshots[0].Directed() {
+		t.Fatal("directedness lost")
+	}
+	if !back.Snapshots[0].HasEdge(0, 2) || !back.Snapshots[0].HasEdge(2, 0) {
+		t.Fatal("undirected edge lost")
+	}
+}
+
+func TestReadEGSErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "hello world\n",
+		"zero dims":       "egs 0 1 true\n",
+		"truncated":       "egs 3 2 true\nsnapshot 0 1\n0 1\n",
+		"out of order":    "egs 3 2 true\nsnapshot 1 0\n",
+		"bad edge":        "egs 3 1 true\nsnapshot 0 1\nfoo bar\n",
+		"edge range":      "egs 3 1 true\nsnapshot 0 1\n0 9\n",
+		"short edge line": "egs 3 1 true\nsnapshot 0 1\n4\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEGS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadEGSSkipsBlankLines(t *testing.T) {
+	in := "egs 2 1 false\n\nsnapshot 0 1\n\n0 1\n"
+	s, err := ReadEGS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Snapshots[0].NumEdges() != 1 {
+		t.Fatal("blank-line tolerance broken")
+	}
+}

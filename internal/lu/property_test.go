@@ -1,0 +1,161 @@
+package lu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// TestFactorSolveProperty: for random diagonally dominant matrices and
+// random right-hand sides, factorization + solve reproduces the
+// solution of the dense oracle (A·x compared against b).
+func TestFactorSolveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(30)
+		a := randomDominant(rng, n, 4*n)
+		fac := NewStaticFactors(Symbolic(a.Pattern()))
+		if err := fac.Factorize(a); err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*4 - 2
+		}
+		b := a.MulVec(x)
+		fac.SolveInPlace(b)
+		return sparse.NormInfDiff(b, x) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSymbolicCoversNumericProperty: the symbolic pattern always covers
+// the numerically non-zero factor positions (sp(Â) ⊆ s̃p(A), §2.3).
+func TestSymbolicCoversNumericProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(20)
+		a := randomDominant(rng, n, 3*n)
+		sym := Symbolic(a.Pattern())
+		fac := NewStaticFactors(sym)
+		if err := fac.Factorize(a); err != nil {
+			return false
+		}
+		pat := sym.Pattern()
+		for j := 0; j < n; j++ {
+			for p := fac.LColPtr[j]; p < fac.LColPtr[j+1]; p++ {
+				if fac.LVal[p] != 0 && !pat.Has(fac.LRowIdx[p], j) {
+					return false
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for p := fac.URowPtr[i]; p < fac.URowPtr[i+1]; p++ {
+				if fac.UVal[p] != 0 && !pat.Has(i, fac.UColIdx[p]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderingInvariantSolution: the solution of A·x = b must not
+// depend on the ordering used to factor A.
+func TestOrderingInvariantSolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(25)
+		a := randomDominant(rng, n, 4*n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		s1, err := FactorizeOrdered(a, sparse.IdentityOrdering(n))
+		if err != nil {
+			return false
+		}
+		o := sparse.SymmetricOrdering(rng.Perm(n))
+		s2, err := FactorizeOrdered(a, o)
+		if err != nil {
+			// Random symmetric orderings keep the dominant diagonal as
+			// pivots, so this should not happen.
+			return false
+		}
+		return sparse.NormInfDiff(s1.Solve(b), s2.Solve(b)) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveLinearityProperty: solving is linear in the right-hand side.
+func TestSolveLinearityProperty(t *testing.T) {
+	rng := xrand.New(77)
+	n := 25
+	a := randomDominant(rng, n, 5*n)
+	s, err := FactorizeOrdered(a, sparse.IdentityOrdering(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		b1 := make([]float64, n)
+		b2 := make([]float64, n)
+		both := make([]float64, n)
+		c1, c2 := r.Float64()*3-1.5, r.Float64()*3-1.5
+		for i := range b1 {
+			b1[i] = r.Float64()
+			b2[i] = r.Float64()
+			both[i] = c1*b1[i] + c2*b2[i]
+		}
+		x1 := s.Solve(b1)
+		x2 := s.Solve(b2)
+		xb := s.Solve(both)
+		for i := range xb {
+			if d := xb[i] - c1*x1[i] - c2*x2[i]; d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDynamicStaticEquivalenceProperty: the two containers represent
+// identical factorizations for any factorizable matrix.
+func TestDynamicStaticEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(20)
+		a := randomDominant(rng, n, 3*n)
+		fs := NewStaticFactors(Symbolic(a.Pattern()))
+		if err := fs.Factorize(a); err != nil {
+			return false
+		}
+		fd := NewDynamicFactors(fs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i > j && fs.LAt(i, j) != fd.LAt(i, j) {
+					return false
+				}
+				if i < j && fs.UAt(i, j) != fd.UAt(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package lu
+
+import "repro/internal/sparse"
+
+// Factors is the common interface of the two factor containers: enough
+// to solve systems and to measure structural size.
+type Factors interface {
+	Dim() int
+	Size() int
+	SolveInPlace(b []float64)
+	Reconstruct() *sparse.CSR
+}
+
+// Compile-time interface checks.
+var (
+	_ Factors = (*StaticFactors)(nil)
+	_ Factors = (*DynamicFactors)(nil)
+)
+
+// Solver couples LU factors of a *reordered* matrix A^O = P·A·Q with
+// the ordering O, and solves the original system A·x = b:
+//
+//	A^O·(Q⁻¹x) = P·b   ⇒   x = Q·solve(P·b)
+//
+// (§2.2 of the paper). Applying the permutations costs O(n).
+type Solver struct {
+	F Factors
+	O sparse.Ordering
+}
+
+// Solve returns x with A·x = b, leaving b untouched.
+func (s *Solver) Solve(b []float64) []float64 {
+	bp := s.O.Row.Apply(b) // b' = P·b
+	s.F.SolveInPlace(bp)   // x' = (A^O)⁻¹ b'
+	return s.O.Col.Scatter(bp)
+}
+
+// FactorizeOrdered is the one-call convenience used throughout the
+// harness: reorder a by o, run symbolic + numeric decomposition into a
+// fresh static container, and return a ready Solver.
+func FactorizeOrdered(a *sparse.CSR, o sparse.Ordering) (*Solver, error) {
+	ao := a.Permute(o)
+	sym := Symbolic(ao.Pattern())
+	f := NewStaticFactors(sym)
+	if err := f.Factorize(ao); err != nil {
+		return nil, err
+	}
+	return &Solver{F: f, O: o}, nil
+}

@@ -1,0 +1,377 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// PivotTolerance is the absolute threshold below which a pivot is
+// reported as numerically singular. The evolving-graph matrices this
+// repository factors (I − d·W, d < 1) keep pivots comfortably above
+// this value.
+const PivotTolerance = 1e-12
+
+// StaticFactors stores A = L·D·U with all index structure frozen at
+// construction time from a symbolic pattern. L is strictly lower
+// triangular stored by columns; U is strictly upper triangular stored
+// by rows; D is the dense pivot vector. Cross views (L by rows, U by
+// columns) index into the same value arrays so the Crout factorization
+// can stream both orientations without searching.
+//
+// This is the CLUDE container: constructed once per cluster from the
+// universal symbolic sparsity pattern (USSP), then refilled numerically
+// for each matrix in the cluster, with Bennett updates touching values
+// only. The structure never changes after NewStaticFactors.
+type StaticFactors struct {
+	n int
+
+	// L by column: rows LRowIdx[LColPtr[j]:LColPtr[j+1]] (sorted, > j).
+	LColPtr []int
+	LRowIdx []int
+	LVal    []float64
+
+	// U by row: cols UColIdx[URowPtr[i]:URowPtr[i+1]] (sorted, > i).
+	URowPtr []int
+	UColIdx []int
+	UVal    []float64
+
+	// D: pivots.
+	D []float64
+
+	// Cross view of L by row: for row i, columns LRowCols[...] with
+	// LRowPos pointing into LVal.
+	LRowPtr  []int
+	LRowCols []int
+	LRowPos  []int
+
+	// Cross view of U by column: for column j, rows UColRows[...] with
+	// UColPos pointing into UVal.
+	UColPtr  []int
+	UColRows []int
+	UColPos  []int
+}
+
+// NewStaticFactors allocates a factor container whose structure is the
+// symbolic pattern s. Values start at zero.
+func NewStaticFactors(s *SymbolicLU) *StaticFactors {
+	n := s.N()
+	f := &StaticFactors{n: n, D: make([]float64, n)}
+
+	// L by column from the per-row lower patterns.
+	colCnt := make([]int, n+1)
+	lnnz := 0
+	for i := 0; i < n; i++ {
+		for _, j := range s.LRow(i) {
+			colCnt[j+1]++
+			lnnz++
+		}
+	}
+	for j := 0; j < n; j++ {
+		colCnt[j+1] += colCnt[j]
+	}
+	f.LColPtr = colCnt
+	f.LRowIdx = make([]int, lnnz)
+	f.LVal = make([]float64, lnnz)
+	next := make([]int, n)
+	copy(next, f.LColPtr[:n])
+	// Row-major scan of lrows emits rows in increasing order per
+	// column, so each column comes out sorted.
+	f.LRowPtr = make([]int, n+1)
+	f.LRowCols = make([]int, lnnz)
+	f.LRowPos = make([]int, lnnz)
+	w := 0
+	for i := 0; i < n; i++ {
+		f.LRowPtr[i] = w
+		for _, j := range s.LRow(i) {
+			p := next[j]
+			f.LRowIdx[p] = i
+			next[j]++
+			f.LRowCols[w] = j
+			f.LRowPos[w] = p
+			w++
+		}
+	}
+	f.LRowPtr[n] = w
+
+	// U by row directly from the per-row upper patterns.
+	unnz := 0
+	f.URowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		f.URowPtr[i] = unnz
+		unnz += len(s.URow(i))
+	}
+	f.URowPtr[n] = unnz
+	f.UColIdx = make([]int, unnz)
+	f.UVal = make([]float64, unnz)
+	colCnt2 := make([]int, n+1)
+	w = 0
+	for i := 0; i < n; i++ {
+		for _, j := range s.URow(i) {
+			f.UColIdx[w] = j
+			colCnt2[j+1]++
+			w++
+		}
+	}
+	for j := 0; j < n; j++ {
+		colCnt2[j+1] += colCnt2[j]
+	}
+	f.UColPtr = colCnt2
+	f.UColRows = make([]int, unnz)
+	f.UColPos = make([]int, unnz)
+	next2 := make([]int, n)
+	copy(next2, f.UColPtr[:n])
+	for i := 0; i < n; i++ {
+		for k := f.URowPtr[i]; k < f.URowPtr[i+1]; k++ {
+			j := f.UColIdx[k]
+			p := next2[j]
+			f.UColRows[p] = i
+			f.UColPos[p] = k
+			next2[j]++
+		}
+	}
+	return f
+}
+
+// Dim returns the matrix dimension n.
+func (f *StaticFactors) Dim() int { return f.n }
+
+// Size returns the structural size |sp(L)| + |sp(U)| + n, i.e. the
+// paper's |s̃p| for the pattern the container was built from.
+func (f *StaticFactors) Size() int { return len(f.LVal) + len(f.UVal) + f.n }
+
+// Reset zeroes all factor values, keeping the structure.
+func (f *StaticFactors) Reset() {
+	for i := range f.LVal {
+		f.LVal[i] = 0
+	}
+	for i := range f.UVal {
+		f.UVal[i] = 0
+	}
+	for i := range f.D {
+		f.D[i] = 0
+	}
+}
+
+// lFind returns the position in LVal of entry (i, j), or -1 if the
+// position is outside the frozen structure.
+func (f *StaticFactors) lFind(i, j int) int {
+	lo, hi := f.LColPtr[j], f.LColPtr[j+1]
+	rows := f.LRowIdx[lo:hi]
+	k := sort.SearchInts(rows, i)
+	if k < len(rows) && rows[k] == i {
+		return lo + k
+	}
+	return -1
+}
+
+// uFind returns the position in UVal of entry (i, j), or -1 if absent.
+func (f *StaticFactors) uFind(i, j int) int {
+	lo, hi := f.URowPtr[i], f.URowPtr[i+1]
+	cols := f.UColIdx[lo:hi]
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return lo + k
+	}
+	return -1
+}
+
+// LAt returns L(i, j) (unit diagonal implicit; strictly lower only).
+func (f *StaticFactors) LAt(i, j int) float64 {
+	if p := f.lFind(i, j); p >= 0 {
+		return f.LVal[p]
+	}
+	return 0
+}
+
+// UAt returns U(i, j) (unit diagonal implicit; strictly upper only).
+func (f *StaticFactors) UAt(i, j int) float64 {
+	if p := f.uFind(i, j); p >= 0 {
+		return f.UVal[p]
+	}
+	return 0
+}
+
+// SingularError reports a zero or numerically negligible pivot met
+// during factorization or update.
+type SingularError struct {
+	Pivot int
+	Value float64
+}
+
+func (e *SingularError) Error() string {
+	return fmt.Sprintf("lu: singular pivot %d (value %g)", e.Pivot, e.Value)
+}
+
+// Factorize runs the ND-phase of Crout LDU decomposition of the
+// (already reordered) matrix a into the frozen structure. The pattern
+// of a must be covered by the structure's symbolic pattern; positions
+// of the structure that receive no value stay zero, which is how one
+// cluster-wide USSP container serves every matrix in the cluster.
+func (f *StaticFactors) Factorize(a *sparse.CSR) error {
+	if a.N() != f.n {
+		return fmt.Errorf("lu: matrix dimension %d does not match structure %d", a.N(), f.n)
+	}
+	f.Reset()
+	n := f.n
+	at := a.Transpose() // row i of at = column i of a
+	w := make([]float64, n)
+
+	for k := 0; k < n; k++ {
+		// ---- Column k of L and pivot D[k] ----
+		// Zero the workspace over the target pattern.
+		w[k] = 0
+		lo, hi := f.LColPtr[k], f.LColPtr[k+1]
+		for p := lo; p < hi; p++ {
+			w[f.LRowIdx[p]] = 0
+		}
+		// Scatter column k of A (rows >= k).
+		cols, vals := at.Row(k)
+		for t, i := range cols {
+			if i >= k {
+				w[i] = vals[t]
+			}
+		}
+		// w[i] -= sum_m L(i,m)·D(m)·U(m,k) over m < k with U(m,k) != 0.
+		for q := f.UColPtr[k]; q < f.UColPtr[k+1]; q++ {
+			m := f.UColRows[q]
+			c := f.D[m] * f.UVal[f.UColPos[q]]
+			if c == 0 {
+				continue
+			}
+			mlo, mhi := f.LColPtr[m], f.LColPtr[m+1]
+			rows := f.LRowIdx[mlo:mhi]
+			start := sort.SearchInts(rows, k)
+			for t := start; t < len(rows); t++ {
+				w[rows[t]] -= f.LVal[mlo+t] * c
+			}
+		}
+		d := w[k]
+		if math.Abs(d) < PivotTolerance {
+			return &SingularError{Pivot: k, Value: d}
+		}
+		f.D[k] = d
+		for p := lo; p < hi; p++ {
+			f.LVal[p] = w[f.LRowIdx[p]] / d
+		}
+
+		// ---- Row k of U ----
+		ulo, uhi := f.URowPtr[k], f.URowPtr[k+1]
+		for p := ulo; p < uhi; p++ {
+			w[f.UColIdx[p]] = 0
+		}
+		rcols, rvals := a.Row(k)
+		for t, j := range rcols {
+			if j > k {
+				w[j] = rvals[t]
+			}
+		}
+		// w[j] -= sum_m L(k,m)·D(m)·U(m,j) over m < k with L(k,m) != 0.
+		for q := f.LRowPtr[k]; q < f.LRowPtr[k+1]; q++ {
+			m := f.LRowCols[q]
+			c := f.LVal[f.LRowPos[q]] * f.D[m]
+			if c == 0 {
+				continue
+			}
+			mlo, mhi := f.URowPtr[m], f.URowPtr[m+1]
+			mcols := f.UColIdx[mlo:mhi]
+			start := sort.SearchInts(mcols, k+1)
+			for t := start; t < len(mcols); t++ {
+				w[mcols[t]] -= c * f.UVal[mlo+t]
+			}
+		}
+		for p := ulo; p < uhi; p++ {
+			f.UVal[p] = w[f.UColIdx[p]] / d
+		}
+	}
+	return nil
+}
+
+// SolveInPlace solves L·D·U·x = b, overwriting b with x.
+func (f *StaticFactors) SolveInPlace(b []float64) {
+	if len(b) != f.n {
+		panic("lu: SolveInPlace dimension mismatch")
+	}
+	n := f.n
+	// Forward: L y = b (unit lower, by columns).
+	for j := 0; j < n; j++ {
+		bj := b[j]
+		if bj == 0 {
+			continue
+		}
+		for p := f.LColPtr[j]; p < f.LColPtr[j+1]; p++ {
+			b[f.LRowIdx[p]] -= f.LVal[p] * bj
+		}
+	}
+	// Diagonal: D z = y.
+	for i := 0; i < n; i++ {
+		b[i] /= f.D[i]
+	}
+	// Backward: U x = z (unit upper, by rows).
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for p := f.URowPtr[i]; p < f.URowPtr[i+1]; p++ {
+			s -= f.UVal[p] * b[f.UColIdx[p]]
+		}
+		b[i] = s
+	}
+}
+
+// Reconstruct multiplies the factors back into an explicit CSR matrix
+// (L·D·U). Intended for tests: it verifies factorization and update
+// correctness against the original matrix.
+func (f *StaticFactors) Reconstruct() *sparse.CSR {
+	n := f.n
+	// Dense reconstruction is fine at test scale.
+	l := make([][]float64, n)
+	u := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		l[i] = make([]float64, n)
+		u[i] = make([]float64, n)
+		l[i][i] = 1
+		u[i][i] = 1
+	}
+	for j := 0; j < n; j++ {
+		for p := f.LColPtr[j]; p < f.LColPtr[j+1]; p++ {
+			l[f.LRowIdx[p]][j] = f.LVal[p]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for p := f.URowPtr[i]; p < f.URowPtr[i+1]; p++ {
+			u[i][f.UColIdx[p]] = f.UVal[p]
+		}
+	}
+	c := sparse.NewCOO(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k <= i && k <= j; k++ {
+				s += l[i][k] * f.D[k] * u[k][j]
+			}
+			if s != 0 {
+				c.Add(i, j, s)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// NNZActual counts factor positions currently holding a non-zero value
+// (as opposed to Size, which counts the frozen structure). Useful to
+// observe how much of a USSP container a particular matrix uses.
+func (f *StaticFactors) NNZActual() int {
+	c := f.n
+	for _, v := range f.LVal {
+		if v != 0 {
+			c++
+		}
+	}
+	for _, v := range f.UVal {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,266 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// randomDominant builds a strictly diagonally dominant sparse matrix —
+// the class the EMS derivations produce — which is safely factorizable
+// without pivoting.
+func randomDominant(rng *xrand.Rand, n, extra int) *sparse.CSR {
+	c := sparse.NewCOO(n)
+	rowAbs := make([]float64, n)
+	for k := 0; k < extra; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		v := rng.Float64()*2 - 1
+		c.Add(i, j, v)
+		rowAbs[i] += math.Abs(v)
+	}
+	for i := 0; i < n; i++ {
+		c.Add(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return c.ToCSR()
+}
+
+func TestFactorizeReconstructs(t *testing.T) {
+	rng := xrand.New(500)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(25)
+		a := randomDominant(rng, n, 4*n)
+		sym := Symbolic(a.Pattern())
+		f := NewStaticFactors(sym)
+		if err := f.Factorize(a); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !f.Reconstruct().EqualApprox(a, 1e-9) {
+			t.Fatalf("trial %d: L·D·U != A", trial)
+		}
+	}
+}
+
+func TestFactorizeIdentity(t *testing.T) {
+	a := sparse.Identity(7)
+	f := NewStaticFactors(Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if f.D[i] != 1 {
+			t.Errorf("D[%d] = %v, want 1", i, f.D[i])
+		}
+	}
+	if len(f.LVal) != 0 || len(f.UVal) != 0 {
+		t.Error("identity should have empty off-diagonal factors")
+	}
+}
+
+func TestFactorizeKnown2x2(t *testing.T) {
+	// A = [4 2; 6 9] = L·D·U with L=[1 0; 1.5 1], D=diag(4, 6), U=[1 .5; 0 1].
+	a := sparse.NewCSRFromEntries(2, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 4}, {Row: 0, Col: 1, Val: 2},
+		{Row: 1, Col: 0, Val: 6}, {Row: 1, Col: 1, Val: 9},
+	})
+	f := NewStaticFactors(Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.D[0]-4) > 1e-15 || math.Abs(f.D[1]-6) > 1e-12 {
+		t.Errorf("D = %v, want [4 6]", f.D)
+	}
+	if math.Abs(f.LAt(1, 0)-1.5) > 1e-15 {
+		t.Errorf("L(1,0) = %v, want 1.5", f.LAt(1, 0))
+	}
+	if math.Abs(f.UAt(0, 1)-0.5) > 1e-15 {
+		t.Errorf("U(0,1) = %v, want 0.5", f.UAt(0, 1))
+	}
+}
+
+func TestFactorizeSingularDetected(t *testing.T) {
+	a := sparse.NewCSRFromEntries(2, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 1},
+		{Row: 1, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1},
+	})
+	f := NewStaticFactors(Symbolic(a.Pattern()))
+	err := f.Factorize(a)
+	if err == nil {
+		t.Fatal("singular matrix factorized without error")
+	}
+	if _, ok := err.(*SingularError); !ok {
+		t.Fatalf("error type %T, want *SingularError", err)
+	}
+}
+
+func TestSolveInPlace(t *testing.T) {
+	rng := xrand.New(501)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		a := randomDominant(rng, n, 5*n)
+		f := NewStaticFactors(Symbolic(a.Pattern()))
+		if err := f.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.Float64()*4 - 2
+		}
+		b := a.MulVec(want)
+		f.SolveInPlace(b)
+		if d := sparse.NormInfDiff(b, want); d > 1e-8 {
+			t.Fatalf("trial %d: solve error %g", trial, d)
+		}
+	}
+}
+
+func TestFactorizeInUSSPSuperset(t *testing.T) {
+	// Factorizing inside a strictly larger structure (as CLUDE does
+	// with a cluster USSP) must give the same factors, with unused
+	// positions left at zero.
+	rng := xrand.New(502)
+	n := 15
+	a := randomDominant(rng, n, 3*n)
+	b := randomDominant(rng, n, 3*n)
+	union := a.Pattern().Union(b.Pattern())
+	ussp := Symbolic(union)
+	fU := NewStaticFactors(ussp)
+	if err := fU.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	if !fU.Reconstruct().EqualApprox(a, 1e-9) {
+		t.Error("USSP-container factorization wrong")
+	}
+	// Tight container for comparison.
+	fT := NewStaticFactors(Symbolic(a.Pattern()))
+	if err := fT.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b1 := append([]float64(nil), x...)
+	b2 := append([]float64(nil), x...)
+	fU.SolveInPlace(b1)
+	fT.SolveInPlace(b2)
+	if sparse.NormInfDiff(b1, b2) > 1e-10 {
+		t.Error("USSP and tight containers disagree on solve")
+	}
+	if fU.NNZActual() > fU.Size() {
+		t.Error("NNZActual exceeds structure size")
+	}
+}
+
+func TestRefactorizeReusesContainer(t *testing.T) {
+	rng := xrand.New(503)
+	n := 12
+	a := randomDominant(rng, n, 3*n)
+	f := NewStaticFactors(Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	first := f.Reconstruct()
+	// Re-factorize the same matrix after garbage in the values.
+	for i := range f.LVal {
+		f.LVal[i] = 99
+	}
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Reconstruct().EqualApprox(first, 0) {
+		t.Error("refactorization not idempotent")
+	}
+}
+
+func TestSolverWithOrdering(t *testing.T) {
+	rng := xrand.New(504)
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(20)
+		a := randomDominant(rng, n, 4*n)
+		o := sparse.Ordering{Row: sparse.Perm(rng.Perm(n)), Col: sparse.Perm(rng.Perm(n))}
+		// Reordered matrix may place small entries on the diagonal;
+		// retry trials whose reordered form is not factorizable.
+		s, err := FactorizeOrdered(a, o)
+		if err != nil {
+			continue
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.Float64()*2 - 1
+		}
+		b := a.MulVec(want)
+		got := s.Solve(b)
+		if d := sparse.NormInfDiff(got, want); d > 1e-7 {
+			t.Fatalf("trial %d: permuted solve error %g", trial, d)
+		}
+	}
+}
+
+func TestDynamicFactorsMatchStatic(t *testing.T) {
+	rng := xrand.New(505)
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randomDominant(rng, n, 4*n)
+		f := NewStaticFactors(Symbolic(a.Pattern()))
+		if err := f.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		d := NewDynamicFactors(f)
+		if d.Size() != f.Size() {
+			t.Fatalf("size mismatch: dynamic %d static %d", d.Size(), f.Size())
+		}
+		if !d.Reconstruct().EqualApprox(a, 1e-9) {
+			t.Fatal("dynamic reconstruct != A")
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		b1 := append([]float64(nil), x...)
+		b2 := append([]float64(nil), x...)
+		f.SolveInPlace(b1)
+		d.SolveInPlace(b2)
+		if sparse.NormInfDiff(b1, b2) > 1e-12 {
+			t.Fatal("dynamic and static solves disagree")
+		}
+	}
+}
+
+func TestDynamicInsert(t *testing.T) {
+	a := sparse.Identity(4)
+	f := NewStaticFactors(Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDynamicFactors(f)
+	d.InsertL(3, 0, 0.5)
+	d.InsertL(2, 0, 0.25)
+	d.InsertL(3, 0, 0.75) // overwrite
+	if got := d.LAt(3, 0); got != 0.75 {
+		t.Errorf("L(3,0) = %v, want 0.75", got)
+	}
+	if got := d.LAt(2, 0); got != 0.25 {
+		t.Errorf("L(2,0) = %v, want 0.25", got)
+	}
+	if d.Inserts != 2 {
+		t.Errorf("Inserts = %d, want 2", d.Inserts)
+	}
+	d.InsertU(0, 2, -1)
+	d.InsertU(0, 1, -2)
+	if got := d.UAt(0, 1); got != -2 {
+		t.Errorf("U(0,1) = %v, want -2", got)
+	}
+	// Sorted order maintained.
+	var cols []int
+	for cur := d.UHead[0]; cur != -1; cur = d.Nodes[cur].Next {
+		cols = append(cols, d.Nodes[cur].Idx)
+	}
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 2 {
+		t.Errorf("U row 0 order = %v, want [1 2]", cols)
+	}
+}

@@ -1,0 +1,122 @@
+package measures
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/sparse"
+)
+
+// Katz returns the Katz centrality vector: x = Σ_{k≥1} (α·Aᵀ)^k·1,
+// the weighted count of incoming walks of all lengths. It solves the
+// linear system (I − α·Wᵀ)·x = α·Wᵀ·1 with W the raw adjacency matrix,
+// so it exercises the same decomposition machinery as the random-walk
+// measures but on an unnormalized kernel. α must satisfy α < 1/λ_max;
+// for simplicity the implementation requires α·maxInDegree < 1, a
+// sufficient condition that also keeps the matrix diagonally dominant.
+func Katz(g *graph.Graph, alpha float64) ([]float64, error) {
+	n := g.N()
+	maxIn := 0
+	for v := 0; v < n; v++ {
+		if d := g.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn > 0 && alpha >= 1/float64(maxIn) {
+		return nil, fmt.Errorf("measures: Katz alpha %v too large (max in-degree %d)", alpha, maxIn)
+	}
+	// Rows of the system matrix: x(v) − α·Σ_{(u,v) edge} x(u) = b(v).
+	c := sparse.NewCOO(n)
+	b := make([]float64, n)
+	for v := 0; v < n; v++ {
+		c.Add(v, v, 1)
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			c.Add(v, u, -alpha)
+			b[v] += alpha
+		}
+	}
+	s, err := lu.FactorizeOrdered(c.ToCSR(), sparse.IdentityOrdering(n))
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(b), nil
+}
+
+// HITS computes hub and authority scores by the classic mutual
+// reinforcement iteration (Kleinberg). It is one of the §8 baselines:
+// an iterative method that must re-run from scratch per snapshot,
+// unlike the LU-backed measures. Returns (hubs, authorities,
+// iterations).
+func HITS(g *graph.Graph, tol float64, maxIter int) ([]float64, []float64, int) {
+	n := g.N()
+	hub := make([]float64, n)
+	auth := make([]float64, n)
+	for i := range hub {
+		hub[i] = 1 / math.Sqrt(float64(n))
+	}
+	newAuth := make([]float64, n)
+	newHub := make([]float64, n)
+	for it := 1; it <= maxIter; it++ {
+		for i := range newAuth {
+			newAuth[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			hu := hub[u]
+			for _, v := range g.OutNeighbors(u) {
+				newAuth[v] += hu
+			}
+		}
+		normalize(newAuth)
+		for i := range newHub {
+			newHub[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			s := 0.0
+			for _, v := range g.OutNeighbors(u) {
+				s += newAuth[v]
+			}
+			newHub[u] = s
+		}
+		normalize(newHub)
+		diff := sparse.NormInfDiff(newHub, hub) + sparse.NormInfDiff(newAuth, auth)
+		copy(hub, newHub)
+		copy(auth, newAuth)
+		if diff < tol {
+			return hub, auth, it
+		}
+	}
+	return hub, auth, maxIter
+}
+
+func normalize(x []float64) {
+	n := sparse.Norm2(x)
+	if n > 0 {
+		sparse.Scale(x, 1/n)
+	}
+}
+
+// Closeness returns the discounted-closeness centrality of every node:
+// c(t) = n / Σ_v h_d(v→t) where h_d is the discounted hitting time to
+// t. It is expensive (one DHT system per target) and provided for
+// completeness of the measure library; TopKCloseness bounds the work.
+func Closeness(g *graph.Graph, d float64, targets []int) (map[int]float64, error) {
+	out := make(map[int]float64, len(targets))
+	for _, t := range targets {
+		h, err := DHT(g, d, t)
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for _, v := range h {
+			sum += v
+		}
+		if sum > 0 {
+			out[t] = float64(g.N()) / sum
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package measures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lu"
+)
+
+// SeriesOptions configures a measure-series computation over an EGS.
+type SeriesOptions struct {
+	// Damping is the restart parameter d of the walk measures.
+	Damping float64
+	// Algorithm selects the LUDEM solver (default CLUDE).
+	Algorithm core.Algorithm
+	// Alpha is the clustering threshold for CINC/CLUDE (default 0.95).
+	Alpha float64
+}
+
+func (o *SeriesOptions) defaults() {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = core.CLUDE
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.95
+	}
+}
+
+// Series evaluates fn on every snapshot of the EGS, with LU factors
+// provided by the selected LUDEM algorithm, and returns the per-
+// snapshot values. This is the high-level entry point for the paper's
+// motivating workloads (Examples 1–3): measure time series over an
+// evolving graph sequence.
+func Series(egs *graph.EGS, opt SeriesOptions, fn func(t int, e *Engine) float64) ([]float64, error) {
+	opt.defaults()
+	ems := graph.DeriveEMS(egs, graph.RWRMatrix(opt.Damping))
+	out := make([]float64, egs.Len())
+	_, err := core.Run(ems, opt.Algorithm, core.Options{
+		Alpha: opt.Alpha,
+		OnFactors: func(t int, s *lu.Solver) {
+			out[t] = fn(t, NewEngineFromSolver(egs.Snapshots[t], opt.Damping, s))
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("measures: series: %w", err)
+	}
+	return out, nil
+}
+
+// VectorSeries is Series for vector-valued measures (one full score
+// vector per snapshot, e.g. a PageRank series for all nodes).
+func VectorSeries(egs *graph.EGS, opt SeriesOptions, fn func(t int, e *Engine) []float64) ([][]float64, error) {
+	opt.defaults()
+	ems := graph.DeriveEMS(egs, graph.RWRMatrix(opt.Damping))
+	out := make([][]float64, egs.Len())
+	_, err := core.Run(ems, opt.Algorithm, core.Options{
+		Alpha: opt.Alpha,
+		OnFactors: func(t int, s *lu.Solver) {
+			out[t] = fn(t, NewEngineFromSolver(egs.Snapshots[t], opt.Damping, s))
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("measures: vector series: %w", err)
+	}
+	return out, nil
+}
+
+// KeyMoments returns the snapshot indices of the k largest relative
+// day-over-day changes of a series — the paper's "key moments" at
+// which an analyst would zoom in (Example 1).
+func KeyMoments(series []float64, k int) []int {
+	type m struct {
+		t    int
+		jump float64
+	}
+	var ms []m
+	for t := 1; t < len(series); t++ {
+		prev := series[t-1]
+		if prev != 0 {
+			d := (series[t] - prev) / prev
+			if d < 0 {
+				d = -d
+			}
+			ms = append(ms, m{t, d})
+		}
+	}
+	// Selection sort for the top k (k is small).
+	if k > len(ms) {
+		k = len(ms)
+	}
+	out := make([]int, 0, k)
+	for a := 0; a < k; a++ {
+		best := a
+		for b := a + 1; b < len(ms); b++ {
+			if ms[b].jump > ms[best].jump {
+				best = b
+			}
+		}
+		ms[a], ms[best] = ms[best], ms[a]
+		out = append(out, ms[a].t)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package measures
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+func smallEGS(t *testing.T) *graph.EGS {
+	t.Helper()
+	egs, err := gen.Synthetic(gen.SyntheticConfig{V: 120, EP: 1100, D: 4, K: 4, DeltaE: 10, T: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return egs
+}
+
+func TestSeriesMatchesPerSnapshotDirect(t *testing.T) {
+	egs := smallEGS(t)
+	const node = 5
+	series, err := Series(egs, SeriesOptions{}, func(tt int, e *Engine) float64 {
+		return e.PageRank()[node]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != egs.Len() {
+		t.Fatalf("series length %d, want %d", len(series), egs.Len())
+	}
+	// Oracle: fresh engine per snapshot.
+	for tt, g := range egs.Snapshots {
+		e, err := NewEngine(g, 0.85, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := e.PageRank()[node]
+		if d := series[tt] - want; d > 1e-8 || d < -1e-8 {
+			t.Fatalf("snapshot %d: series %v, direct %v", tt, series[tt], want)
+		}
+	}
+}
+
+func TestSeriesAlgorithmsAgree(t *testing.T) {
+	egs := smallEGS(t)
+	const node = 9
+	fn := func(tt int, e *Engine) float64 { return e.RWR(2)[node] }
+	ref, err := Series(egs, SeriesOptions{Algorithm: core.BF}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []core.Algorithm{core.INC, core.CINC, core.CLUDE} {
+		got, err := Series(egs, SeriesOptions{Algorithm: alg}, fn)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if d := sparse.NormInfDiff(ref, got); d > 1e-7 {
+			t.Errorf("%s series deviates from BF by %g", alg, d)
+		}
+	}
+}
+
+func TestVectorSeries(t *testing.T) {
+	egs := smallEGS(t)
+	vs, err := VectorSeries(egs, SeriesOptions{}, func(tt int, e *Engine) []float64 {
+		return e.PageRank()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != egs.Len() || len(vs[0]) != egs.N() {
+		t.Fatal("vector series shape wrong")
+	}
+}
+
+func TestKeyMoments(t *testing.T) {
+	series := []float64{1, 1, 1, 2, 2, 2, 1.9, 1.9}
+	km := KeyMoments(series, 2)
+	if len(km) != 2 || km[0] != 3 {
+		t.Errorf("KeyMoments = %v, want [3 ...]", km)
+	}
+	if len(KeyMoments([]float64{1}, 3)) != 0 {
+		t.Error("single-point series should have no moments")
+	}
+	if len(KeyMoments(nil, 3)) != 0 {
+		t.Error("empty series should have no moments")
+	}
+}

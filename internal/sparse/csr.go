@@ -1,0 +1,359 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CSR is an immutable square sparse matrix in compressed-sparse-row
+// format. Rows are sorted by column index and contain no duplicates.
+// Explicit zeros are permitted and participate in the sparsity pattern.
+type CSR struct {
+	n      int
+	rowPtr []int
+	colIdx []int
+	vals   []float64
+}
+
+// NewCSRFromEntries builds a CSR directly from an entry list, summing
+// duplicates.
+func NewCSRFromEntries(n int, entries []Entry) *CSR {
+	c := NewCOO(n)
+	c.entries = append(c.entries, entries...)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of range [0,%d)", e.Row, e.Col, n))
+		}
+	}
+	return c.ToCSR()
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *CSR {
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, n)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = i + 1
+		colIdx[i] = i
+		vals[i] = 1
+	}
+	return &CSR{n: n, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// N returns the matrix dimension.
+func (m *CSR) N() int { return m.n }
+
+// NNZ returns the number of stored entries (pattern size |sp(A)|,
+// including explicit zeros).
+func (m *CSR) NNZ() int { return len(m.colIdx) }
+
+// Row returns the column indices and values of row i. The returned
+// slices alias internal storage and must not be modified.
+func (m *CSR) Row(i int) ([]int, []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.vals[lo:hi]
+}
+
+// At returns the value at (i, j), or 0 if the position is not stored.
+func (m *CSR) At(i, j int) float64 {
+	cols, vals := m.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return 0
+}
+
+// Has reports whether (i, j) is in the stored pattern.
+func (m *CSR) Has(i, j int) bool {
+	cols, _ := m.Row(i)
+	k := sort.SearchInts(cols, j)
+	return k < len(cols) && cols[k] == j
+}
+
+// Pattern returns the sparsity pattern sp(A) of the matrix. The pattern
+// shares the matrix's index storage.
+func (m *CSR) Pattern() *Pattern {
+	return &Pattern{n: m.n, rowPtr: m.rowPtr, colIdx: m.colIdx}
+}
+
+// Transpose returns the transpose as a new CSR.
+func (m *CSR) Transpose() *CSR {
+	n := m.n
+	cnt := make([]int, n+1)
+	for _, j := range m.colIdx {
+		cnt[j+1]++
+	}
+	for i := 0; i < n; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	colIdx := make([]int, len(m.colIdx))
+	vals := make([]float64, len(m.vals))
+	next := make([]int, n)
+	copy(next, cnt[:n])
+	for i := 0; i < n; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := m.colIdx[k]
+			p := next[j]
+			colIdx[p] = i
+			vals[p] = m.vals[k]
+			next[j]++
+		}
+	}
+	// Rows of the transpose come out already sorted because we scanned
+	// source rows in increasing order.
+	return &CSR{n: n, rowPtr: cnt, colIdx: colIdx, vals: vals}
+}
+
+// Permute returns A^O = P·A·Q for the ordering o, i.e. the matrix B
+// with B(i, j) = A(o.Row[i], o.Col[j]).
+func (m *CSR) Permute(o Ordering) *CSR {
+	n := m.n
+	if len(o.Row) != n || len(o.Col) != n {
+		panic("sparse: ordering dimension mismatch")
+	}
+	colNewOf := o.Col.Inverse() // old col -> new col
+	rowPtr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		old := o.Row[i]
+		rowPtr[i+1] = rowPtr[i] + (m.rowPtr[old+1] - m.rowPtr[old])
+	}
+	colIdx := make([]int, len(m.colIdx))
+	vals := make([]float64, len(m.vals))
+	for i := 0; i < n; i++ {
+		old := o.Row[i]
+		lo, hi := m.rowPtr[old], m.rowPtr[old+1]
+		w := rowPtr[i]
+		seg := colIdx[w : w+(hi-lo)]
+		segv := vals[w : w+(hi-lo)]
+		for k := lo; k < hi; k++ {
+			seg[k-lo] = colNewOf[m.colIdx[k]]
+			segv[k-lo] = m.vals[k]
+		}
+		sort.Sort(&pairSorter{seg, segv})
+	}
+	return &CSR{n: n, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// MulVec computes y = A·x into a new slice.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.n {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul computes the sparse matrix product A·B (classic Gustavson
+// row-by-row SpGEMM with a dense accumulator).
+func (m *CSR) Mul(b *CSR) *CSR {
+	if m.n != b.n {
+		panic("sparse: Mul dimension mismatch")
+	}
+	n := m.n
+	acc := make([]float64, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	rowPtr := make([]int, n+1)
+	var colIdx []int
+	var vals []float64
+	rowCols := make([]int, 0, 64)
+	for i := 0; i < n; i++ {
+		rowCols = rowCols[:0]
+		alo, ahi := m.rowPtr[i], m.rowPtr[i+1]
+		for ka := alo; ka < ahi; ka++ {
+			k := m.colIdx[ka]
+			av := m.vals[ka]
+			blo, bhi := b.rowPtr[k], b.rowPtr[k+1]
+			for kb := blo; kb < bhi; kb++ {
+				j := b.colIdx[kb]
+				if mark[j] != i {
+					mark[j] = i
+					acc[j] = 0
+					rowCols = append(rowCols, j)
+				}
+				acc[j] += av * b.vals[kb]
+			}
+		}
+		sort.Ints(rowCols)
+		for _, j := range rowCols {
+			colIdx = append(colIdx, j)
+			vals = append(vals, acc[j])
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return &CSR{n: n, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// Scale returns s·A as a new matrix sharing the pattern storage.
+func (m *CSR) Scale(s float64) *CSR {
+	vals := make([]float64, len(m.vals))
+	for i, v := range m.vals {
+		vals[i] = s * v
+	}
+	return &CSR{n: m.n, rowPtr: m.rowPtr, colIdx: m.colIdx, vals: vals}
+}
+
+// Add returns A + B as a new matrix. The result pattern is the union of
+// the operand patterns (explicit zeros from cancellation are kept).
+func (m *CSR) Add(b *CSR) *CSR {
+	if m.n != b.n {
+		panic("sparse: Add dimension mismatch")
+	}
+	n := m.n
+	rowPtr := make([]int, n+1)
+	var colIdx []int
+	var vals []float64
+	for i := 0; i < n; i++ {
+		ac, av := m.Row(i)
+		bc, bv := b.Row(i)
+		ka, kb := 0, 0
+		for ka < len(ac) || kb < len(bc) {
+			switch {
+			case kb >= len(bc) || (ka < len(ac) && ac[ka] < bc[kb]):
+				colIdx = append(colIdx, ac[ka])
+				vals = append(vals, av[ka])
+				ka++
+			case ka >= len(ac) || bc[kb] < ac[ka]:
+				colIdx = append(colIdx, bc[kb])
+				vals = append(vals, bv[kb])
+				kb++
+			default:
+				colIdx = append(colIdx, ac[ka])
+				vals = append(vals, av[ka]+bv[kb])
+				ka++
+				kb++
+			}
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return &CSR{n: n, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// Sub returns A − B as a new matrix (union pattern).
+func (m *CSR) Sub(b *CSR) *CSR { return m.Add(b.Scale(-1)) }
+
+// Delta returns the entry list of B − A restricted to positions where
+// the two matrices actually differ. This is the ∆A handed to Bennett's
+// algorithm when stepping from A to B in an evolving matrix sequence.
+func Delta(a, b *CSR) []Entry {
+	if a.n != b.n {
+		panic("sparse: Delta dimension mismatch")
+	}
+	var out []Entry
+	for i := 0; i < a.n; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		ka, kb := 0, 0
+		for ka < len(ac) || kb < len(bc) {
+			switch {
+			case kb >= len(bc) || (ka < len(ac) && ac[ka] < bc[kb]):
+				if av[ka] != 0 {
+					out = append(out, Entry{i, ac[ka], -av[ka]})
+				}
+				ka++
+			case ka >= len(ac) || bc[kb] < ac[ka]:
+				if bv[kb] != 0 {
+					out = append(out, Entry{i, bc[kb], bv[kb]})
+				}
+				kb++
+			default:
+				if d := bv[kb] - av[ka]; d != 0 {
+					out = append(out, Entry{i, ac[ka], d})
+				}
+				ka++
+				kb++
+			}
+		}
+	}
+	return out
+}
+
+// Dense expands the matrix into a dense row-major n×n slice-of-slices.
+// Intended for tests and tiny examples only.
+func (m *CSR) Dense() [][]float64 {
+	d := make([][]float64, m.n)
+	for i := range d {
+		d[i] = make([]float64, m.n)
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			d[i][j] = vals[k]
+		}
+	}
+	return d
+}
+
+// EqualApprox reports whether A and B agree entrywise within tol
+// (comparing values, not patterns: an explicit zero equals an absent
+// entry).
+func (m *CSR) EqualApprox(b *CSR, tol float64) bool {
+	if m.n != b.n {
+		return false
+	}
+	for i := 0; i < m.n; i++ {
+		ac, av := m.Row(i)
+		bc, bv := b.Row(i)
+		ka, kb := 0, 0
+		for ka < len(ac) || kb < len(bc) {
+			switch {
+			case kb >= len(bc) || (ka < len(ac) && ac[ka] < bc[kb]):
+				if math.Abs(av[ka]) > tol {
+					return false
+				}
+				ka++
+			case ka >= len(ac) || bc[kb] < ac[ka]:
+				if math.Abs(bv[kb]) > tol {
+					return false
+				}
+				kb++
+			default:
+				if math.Abs(av[ka]-bv[kb]) > tol {
+					return false
+				}
+				ka++
+				kb++
+			}
+		}
+	}
+	return true
+}
+
+// IsSymmetric reports whether the matrix equals its transpose within
+// tol on values (pattern asymmetries with zero values are tolerated).
+func (m *CSR) IsSymmetric(tol float64) bool {
+	return m.EqualApprox(m.Transpose(), tol)
+}
+
+// String renders small matrices for debugging; large matrices render as
+// a summary line.
+func (m *CSR) String() string {
+	if m.n > 16 {
+		return fmt.Sprintf("CSR{n=%d nnz=%d}", m.n, m.NNZ())
+	}
+	var sb strings.Builder
+	d := m.Dense()
+	for _, row := range d {
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%7.3f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

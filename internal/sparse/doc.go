@@ -1,0 +1,21 @@
+// Package sparse implements the sparse linear algebra substrate used by
+// the CLUDE reproduction: coordinate (COO) builders, immutable
+// compressed-sparse-row (CSR) matrices, pure sparsity patterns with set
+// operations, permutations and orderings (the pair (P, Q) of Definition
+// 2 in the paper), dense vector helpers, and sparse matrix products.
+//
+// Conventions used throughout the repository:
+//
+//   - Matrices are square, n-by-n, indexed from 0.
+//   - A Perm p maps NEW indices to OLD indices: B = p applied to rows of
+//     A means B(i, j) = A(p[i], j).
+//   - An Ordering O = (Row, Col) reorders A into A^O with
+//     A^O(i, j) = A(Row[i], Col[j]); this is exactly the paper's
+//     A^O = P·A·Q with permutation matrices P(i, Row[i]) = 1 and
+//     Q(Col[j], j) = 1.
+//   - Patterns are the paper's sp(A): the set of (i, j) with A(i,j) != 0.
+//
+// All types in this package are either immutable after construction
+// (CSR, Pattern) or plain builders (COO), so values can be shared freely
+// across goroutines once built.
+package sparse

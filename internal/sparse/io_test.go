@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := xrand.New(3000)
+	for trial := 0; trial < 10; trial++ {
+		m := randomCSR(rng, 2+rng.Intn(20), 30)
+		var buf bytes.Buffer
+		if err := WriteCSR(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSR(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.EqualApprox(back, 0) {
+			t.Fatalf("trial %d: round trip changed values", trial)
+		}
+		if m.NNZ() != back.NNZ() {
+			t.Fatalf("trial %d: pattern changed (%d vs %d)", trial, m.NNZ(), back.NNZ())
+		}
+	}
+}
+
+func TestCSRRoundTripExplicitZero(t *testing.T) {
+	c := NewCOO(3)
+	c.Add(0, 1, 0) // explicit zero must survive
+	c.Add(2, 2, -1.5)
+	m := c.ToCSR()
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Has(0, 1) {
+		t.Error("explicit zero dropped in serialization")
+	}
+}
+
+func TestReadCSRErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"badheader": "matrix 3 1\n",
+		"zerodim":   "csr 0 0\n",
+		"truncated": "csr 3 2\n0 1 1.0\n",
+		"badentry":  "csr 3 1\nx y z\n",
+		"badrange":  "csr 3 1\n0 9 1.0\n",
+		"shortline": "csr 3 1\n0 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSR(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+		}
+	}
+}
+
+func TestReadCSRSkipsComments(t *testing.T) {
+	in := "# a comment\ncsr 2 1\n# another\n0 1 2.5\n"
+	m, err := ReadCSR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2.5 {
+		t.Error("comment handling broke parsing")
+	}
+}

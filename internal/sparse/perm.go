@@ -1,0 +1,96 @@
+package sparse
+
+import "fmt"
+
+// Perm is a permutation of [0, n) stored as a new-to-old index map:
+// applying p to the rows of A yields B with B(i, ·) = A(p[i], ·).
+type Perm []int
+
+// IdentityPerm returns the identity permutation of size n.
+func IdentityPerm(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Valid reports whether p is a bijection on [0, len(p)).
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Inverse returns the old-to-new map q with q[p[i]] = i.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// Apply permutes a dense vector: out[i] = x[p[i]]. This computes P·x
+// when p is a row permutation (new-to-old).
+func (p Perm) Apply(x []float64) []float64 {
+	if len(x) != len(p) {
+		panic(fmt.Sprintf("sparse: Perm.Apply length mismatch %d vs %d", len(x), len(p)))
+	}
+	out := make([]float64, len(x))
+	for i, v := range p {
+		out[i] = x[v]
+	}
+	return out
+}
+
+// Scatter inverts Apply: out[p[i]] = x[i]. For an ordering's column
+// permutation this computes x = Q·x' when recovering the solution of
+// the original system from the reordered one.
+func (p Perm) Scatter(x []float64) []float64 {
+	if len(x) != len(p) {
+		panic(fmt.Sprintf("sparse: Perm.Scatter length mismatch %d vs %d", len(x), len(p)))
+	}
+	out := make([]float64, len(x))
+	for i, v := range p {
+		out[v] = x[i]
+	}
+	return out
+}
+
+// Ordering is the paper's O = (P, Q): Row is the row permutation (P)
+// and Col the column permutation (Q), both stored new-to-old, so that
+// A^O(i, j) = A(Row[i], Col[j]).
+type Ordering struct {
+	Row Perm
+	Col Perm
+}
+
+// IdentityOrdering returns the ordering that leaves A untouched.
+func IdentityOrdering(n int) Ordering {
+	return Ordering{Row: IdentityPerm(n), Col: IdentityPerm(n)}
+}
+
+// SymmetricOrdering builds an ordering that applies the same vertex
+// permutation to rows and columns (P = Q^T in matrix terms), which is
+// the form produced by diagonal-pivot Markowitz and minimum degree.
+func SymmetricOrdering(pivotSeq []int) Ordering {
+	row := make(Perm, len(pivotSeq))
+	copy(row, pivotSeq)
+	col := make(Perm, len(pivotSeq))
+	copy(col, pivotSeq)
+	return Ordering{Row: row, Col: col}
+}
+
+// Valid reports whether both permutations are bijections of equal size.
+func (o Ordering) Valid() bool {
+	return len(o.Row) == len(o.Col) && o.Row.Valid() && o.Col.Valid()
+}
+
+// N returns the ordering's dimension.
+func (o Ordering) N() int { return len(o.Row) }
