@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bench"
@@ -54,6 +55,24 @@ func BenchmarkFig10QCBetaSweep(b *testing.B)     { benchExperiment(b, "fig10") }
 func BenchmarkFig11PatentCaseStudy(b *testing.B) { benchExperiment(b, "fig11") }
 func BenchmarkTblSolveMethods(b *testing.B)      { benchExperiment(b, "tblSolve") }
 func BenchmarkTblBennettProfile(b *testing.B)    { benchExperiment(b, "tblBennett") }
+
+// BenchmarkParallelWorkers runs each LUDEM algorithm end-to-end across
+// engine pool sizes (compare sub-benchmark ns/op to see the scaling;
+// on a multi-core box CLUDE/workers=4 should be well under workers=1).
+func BenchmarkParallelWorkers(b *testing.B) {
+	_, ems := benchEMS(b)
+	for _, alg := range []core.Algorithm{core.BF, core.CINC, core.CLUDE} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", alg, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Run(ems, alg, core.Options{Alpha: 0.95, Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
 
 // --- Kernel micro-benchmarks ---
 

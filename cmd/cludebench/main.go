@@ -23,9 +23,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		scale = flag.String("scale", "small", "dataset scale: small | medium | paper")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale   = flag.String("scale", "small", "dataset scale: small | medium | paper")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 1, "engine worker pool per run: 1 = paper-faithful sequential, 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	d.Workers = *workers
 
 	var todo []bench.Experiment
 	if *exp == "all" {

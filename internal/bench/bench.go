@@ -42,6 +42,11 @@ type Datasets struct {
 	Betas   []float64
 	DeltaEs []int
 	Damping float64
+	// Workers is the engine pool size every experiment passes to
+	// core.Options. The default 1 keeps the timing experiments
+	// paper-faithful (the paper's prototype is sequential); the
+	// dedicated "parallel" experiment sweeps pool sizes regardless.
+	Workers int
 }
 
 // DatasetsFor returns the generator configurations for a scale.
@@ -50,6 +55,7 @@ func DatasetsFor(s Scale) (Datasets, error) {
 		Alphas:  []float64{0.90, 0.92, 0.94, 0.96, 0.98, 0.99},
 		Betas:   []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30},
 		Damping: 0.85,
+		Workers: 1,
 	}
 	switch s {
 	case Tiny:

@@ -36,7 +36,7 @@ func TestDatasetsForScales(t *testing.T) {
 }
 
 func TestRegistryCoversPaperItems(t *testing.T) {
-	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tblSolve", "tblBennett", "ablation"}
+	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tblSolve", "tblBennett", "ablation", "parallel"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -86,6 +86,13 @@ func TestAllExperimentsRunAtTinyScale(t *testing.T) {
 func TestFig7ShapeCLUDEWins(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
+	}
+	if raceEnabled {
+		// Race instrumentation slows the linked-list container far
+		// more than the array containers, so the speedup shape this
+		// test asserts does not hold under -race (seed behavior, not a
+		// regression).
+		t.Skip("wall-clock shape assertions are unreliable under the race detector")
 	}
 	// The paper's headline: CLUDE beats INC in speedup at moderate α.
 	d := small(t)

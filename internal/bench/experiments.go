@@ -37,6 +37,7 @@ func Registry() []Experiment {
 		{"tblSolve", "Section 1/8 claims: solve-after-LU vs GE, PI, MC", TblSolve},
 		{"tblBennett", "Section 4 claim: list restructuring share of Bennett time", TblBennett},
 		{"ablation", "DESIGN.md §6: ordering quality and USSP slack ablations", Ablation},
+		{"parallel", "Engine: wall-clock scaling vs worker-pool size (beyond the paper)", Parallel},
 	}
 }
 
@@ -62,7 +63,7 @@ func Fig1(d Datasets) ([]*Table, error) {
 	// recording all scores is cheap at harness scale.
 	n := ems.N()
 	scores := make([][]float64, ems.Len())
-	_, err = core.Run(ems, core.CLUDE, core.Options{
+	_, err = core.Run(ems, core.CLUDE, core.Options{Workers: d.Workers,
 		Alpha: 0.95,
 		OnFactors: func(i int, s *lu.Solver) {
 			e := measures.NewEngineFromSolver(egs.Snapshots[i], d.Damping, s)
@@ -127,11 +128,11 @@ func Fig5(d Datasets) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bf, err := core.Run(ems, core.BF, core.Options{})
+		bf, err := core.Run(ems, core.BF, core.Options{Workers: d.Workers})
 		if err != nil {
 			return nil, err
 		}
-		inc, err := core.Run(ems, core.INC, core.Options{MeasureQuality: true})
+		inc, err := core.Run(ems, core.INC, core.Options{Workers: d.Workers, MeasureQuality: true})
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +159,7 @@ func Fig6(d Datasets) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bf, err := core.Run(ems, core.BF, core.Options{})
+		bf, err := core.Run(ems, core.BF, core.Options{Workers: d.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -167,11 +168,11 @@ func Fig6(d Datasets) ([]*Table, error) {
 			Header: []string{"alpha", "CINC", "CLUDE", "clusters(CINC)", "clusters(CLUDE)"},
 		}
 		for _, a := range d.Alphas {
-			cinc, err := core.Run(ems, core.CINC, core.Options{Alpha: a, MeasureQuality: true})
+			cinc, err := core.Run(ems, core.CINC, core.Options{Workers: d.Workers, Alpha: a, MeasureQuality: true})
 			if err != nil {
 				return nil, err
 			}
-			clude, err := core.Run(ems, core.CLUDE, core.Options{Alpha: a, MeasureQuality: true})
+			clude, err := core.Run(ems, core.CLUDE, core.Options{Workers: d.Workers, Alpha: a, MeasureQuality: true})
 			if err != nil {
 				return nil, err
 			}
@@ -196,11 +197,11 @@ func Fig7(d Datasets) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bf, err := core.Run(ems, core.BF, core.Options{})
+		bf, err := core.Run(ems, core.BF, core.Options{Workers: d.Workers})
 		if err != nil {
 			return nil, err
 		}
-		inc, err := core.Run(ems, core.INC, core.Options{})
+		inc, err := core.Run(ems, core.INC, core.Options{Workers: d.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -210,11 +211,11 @@ func Fig7(d Datasets) ([]*Table, error) {
 			Header: []string{"alpha", "INC", "CINC", "CLUDE"},
 		}
 		for _, a := range d.Alphas {
-			cinc, err := core.Run(ems, core.CINC, core.Options{Alpha: a})
+			cinc, err := core.Run(ems, core.CINC, core.Options{Workers: d.Workers, Alpha: a})
 			if err != nil {
 				return nil, err
 			}
-			clude, err := core.Run(ems, core.CLUDE, core.Options{Alpha: a})
+			clude, err := core.Run(ems, core.CLUDE, core.Options{Workers: d.Workers, Alpha: a})
 			if err != nil {
 				return nil, err
 			}
@@ -245,11 +246,11 @@ func Fig8(d Datasets) ([]*Table, error) {
 		Header: []string{"alpha", "CINC bennett", "CLUDE bennett", "CINC inserts", "CINC scan steps"},
 	}
 	for _, a := range d.Alphas {
-		clude, err := core.Run(ems, core.CLUDE, core.Options{Alpha: a})
+		clude, err := core.Run(ems, core.CLUDE, core.Options{Workers: d.Workers, Alpha: a})
 		if err != nil {
 			return nil, err
 		}
-		cinc, err := core.Run(ems, core.CINC, core.Options{Alpha: a})
+		cinc, err := core.Run(ems, core.CINC, core.Options{Workers: d.Workers, Alpha: a})
 		if err != nil {
 			return nil, err
 		}
@@ -287,19 +288,19 @@ func Fig9(d Datasets) ([]*Table, error) {
 			return nil, err
 		}
 		ems := graph.DeriveEMS(egs, graph.RWRMatrix(d.Damping))
-		bf, err := core.Run(ems, core.BF, core.Options{})
+		bf, err := core.Run(ems, core.BF, core.Options{Workers: d.Workers})
 		if err != nil {
 			return nil, err
 		}
-		inc, err := core.Run(ems, core.INC, core.Options{MeasureQuality: true})
+		inc, err := core.Run(ems, core.INC, core.Options{Workers: d.Workers, MeasureQuality: true})
 		if err != nil {
 			return nil, err
 		}
-		cinc, err := core.Run(ems, core.CINC, core.Options{Alpha: alpha, MeasureQuality: true})
+		cinc, err := core.Run(ems, core.CINC, core.Options{Workers: d.Workers, Alpha: alpha, MeasureQuality: true})
 		if err != nil {
 			return nil, err
 		}
-		clude, err := core.Run(ems, core.CLUDE, core.Options{Alpha: alpha, MeasureQuality: true})
+		clude, err := core.Run(ems, core.CLUDE, core.Options{Workers: d.Workers, Alpha: alpha, MeasureQuality: true})
 		if err != nil {
 			return nil, err
 		}
@@ -325,11 +326,11 @@ func Fig10(d Datasets) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	bf, err := core.Run(ems, core.BF, core.Options{})
+	bf, err := core.Run(ems, core.BF, core.Options{Workers: d.Workers})
 	if err != nil {
 		return nil, err
 	}
-	inc, err := core.Run(ems, core.INC, core.Options{})
+	inc, err := core.Run(ems, core.INC, core.Options{Workers: d.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -343,11 +344,11 @@ func Fig10(d Datasets) ([]*Table, error) {
 		Header: []string{"beta", "CINC", "CLUDE"},
 	}
 	for _, b := range d.Betas {
-		cinc, err := core.RunQC(ems, core.CINC, b, core.Options{MeasureQuality: true, StarSizes: star})
+		cinc, err := core.RunQC(ems, core.CINC, b, core.Options{Workers: d.Workers, MeasureQuality: true, StarSizes: star})
 		if err != nil {
 			return nil, err
 		}
-		clude, err := core.RunQC(ems, core.CLUDE, b, core.Options{MeasureQuality: true, StarSizes: star})
+		clude, err := core.RunQC(ems, core.CLUDE, b, core.Options{Workers: d.Workers, MeasureQuality: true, StarSizes: star})
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +388,7 @@ func Fig11(d Datasets) ([]*Table, error) {
 	}
 	ems := graph.DeriveEMS(egs, graph.RWRMatrix(d.Damping))
 	ranksPerYear := make([][]int, ems.Len())
-	_, err = core.Run(ems, core.CLUDE, core.Options{
+	_, err = core.Run(ems, core.CLUDE, core.Options{Workers: d.Workers,
 		Alpha: 0.9,
 		OnFactors: func(year int, s *lu.Solver) {
 			e := measures.NewEngineFromSolver(egs.Snapshots[year], d.Damping, s)
@@ -499,11 +500,11 @@ func TblBennett(d Datasets) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cinc, err := core.Run(ems, core.CINC, core.Options{Alpha: 0.95})
+	cinc, err := core.Run(ems, core.CINC, core.Options{Workers: d.Workers, Alpha: 0.95})
 	if err != nil {
 		return nil, err
 	}
-	clude, err := core.Run(ems, core.CLUDE, core.Options{Alpha: 0.95})
+	clude, err := core.Run(ems, core.CLUDE, core.Options{Workers: d.Workers, Alpha: 0.95})
 	if err != nil {
 		return nil, err
 	}

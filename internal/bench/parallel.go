@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// workerSweep returns the pool sizes the parallel experiment measures:
+// 1, 2, 4 and GOMAXPROCS, deduplicated and sorted.
+func workerSweep() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	var out []int
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// syntheticEMS generates the synthetic EMS (directed RWR matrices) —
+// the sequence the scaling experiment and speedup test run on.
+func syntheticEMS(d Datasets) (*graph.EMS, error) {
+	egs, err := gen.Synthetic(d.Synthetic)
+	if err != nil {
+		return nil, err
+	}
+	return graph.DeriveEMS(egs, graph.RWRMatrix(d.Damping)), nil
+}
+
+// bestWall runs alg reps times at the given pool size and returns the
+// fastest wall clock — the standard guard against scheduler noise in
+// scaling measurements.
+func bestWall(ems *graph.EMS, alg core.Algorithm, alpha float64, workers, reps int) (time.Duration, error) {
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		res, err := core.Run(ems, alg, core.Options{Alpha: alpha, Workers: workers})
+		if err != nil {
+			return 0, err
+		}
+		if r == 0 || res.Wall < best {
+			best = res.Wall
+		}
+	}
+	return best, nil
+}
+
+// CLUDESpeedup measures CLUDE's wall-clock speedup on the synthetic
+// EMS with the given pool size relative to the sequential engine
+// (Workers=1). Exposed for the scaling regression test.
+func CLUDESpeedup(d Datasets, workers int) (float64, error) {
+	ems, err := syntheticEMS(d)
+	if err != nil {
+		return 0, err
+	}
+	const alpha, reps = 0.95, 3
+	seq, err := bestWall(ems, core.CLUDE, alpha, 1, reps)
+	if err != nil {
+		return 0, err
+	}
+	par, err := bestWall(ems, core.CLUDE, alpha, workers, reps)
+	if err != nil {
+		return 0, err
+	}
+	return speedup(seq, par), nil
+}
+
+// Parallel measures the engine's wall-clock scaling: BF, CINC and
+// CLUDE on the synthetic EMS across worker-pool sizes. This experiment
+// has no counterpart in the paper (its prototype is sequential); it
+// documents what the cluster-parallel engine buys on a multi-core box.
+// OnFactors is nil here, so the whole per-cluster pipeline — ordering,
+// full LU and Bennett chain — runs concurrently across clusters.
+func Parallel(d Datasets) ([]*Table, error) {
+	ems, err := syntheticEMS(d)
+	if err != nil {
+		return nil, err
+	}
+	const alpha, reps = 0.95, 2
+	algs := []core.Algorithm{core.BF, core.CINC, core.CLUDE}
+
+	base := map[core.Algorithm]time.Duration{}
+	tbl := &Table{
+		Title: fmt.Sprintf("Engine wall-clock vs workers (synthetic, alpha=%.2f, GOMAXPROCS=%d)",
+			alpha, runtime.GOMAXPROCS(0)),
+		Header: []string{"workers", "BF", "CINC", "CLUDE", "BF speedup", "CINC speedup", "CLUDE speedup"},
+	}
+	for _, w := range workerSweep() {
+		row := []string{fmt.Sprint(w)}
+		var speeds []string
+		for _, alg := range algs {
+			wall, err := bestWall(ems, alg, alpha, w, reps)
+			if err != nil {
+				return nil, err
+			}
+			if w == 1 {
+				base[alg] = wall
+			}
+			row = append(row, dur(wall))
+			speeds = append(speeds, f(speedup(base[alg], wall)))
+		}
+		tbl.Rows = append(tbl.Rows, append(row, speeds...))
+	}
+
+	// How much cluster-level parallelism the plan even offers.
+	res, err := core.Run(ems, core.CLUDE, core.Options{Alpha: alpha, Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	note := &Table{
+		Title:  "Available cluster-level parallelism (CLUDE plan)",
+		Header: []string{"T", "clusters", "largest cluster"},
+	}
+	largest := 0
+	for _, c := range res.Clusters {
+		if c.Len() > largest {
+			largest = c.Len()
+		}
+	}
+	note.Rows = append(note.Rows, []string{
+		fmt.Sprint(ems.Len()), fmt.Sprint(len(res.Clusters)), fmt.Sprint(largest),
+	})
+	return []*Table{tbl, note}, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; wall-clock assertions are skipped under it (instrumentation
+// slows the containers by wildly different factors).
+const raceEnabled = true

@@ -51,6 +51,11 @@ type scratch struct {
 	ysupp    []int
 	zsupp    []int
 	newIdx   []int
+	// dirtyY/dirtyZ record positions written with sub-cutoff values
+	// that were deliberately not promoted into the supports: they are
+	// not propagated, but they must still be zeroed by reset so a
+	// reused scratch is indistinguishable from a fresh one.
+	dirtyY, dirtyZ []int
 }
 
 func newScratch(n int) *scratch {
@@ -93,8 +98,43 @@ func (sc *scratch) reset() {
 		sc.z[j] = 0
 		sc.inZ[j] = false
 	}
+	for _, j := range sc.dirtyY {
+		sc.y[j] = 0
+	}
+	for _, j := range sc.dirtyZ {
+		sc.z[j] = 0
+	}
 	sc.ysupp = sc.ysupp[:0]
 	sc.zsupp = sc.zsupp[:0]
+	sc.dirtyY = sc.dirtyY[:0]
+	sc.dirtyZ = sc.dirtyZ[:0]
+}
+
+// setY writes a propagated y value, promoting j into the support when
+// it is significant and recording it as dirty otherwise.
+func (sc *scratch) setY(j int, v float64) {
+	if !sc.inY[j] {
+		if math.Abs(v) > PropagationCutoff {
+			sc.inY[j] = true
+			sc.newIdx = append(sc.newIdx, j)
+		} else {
+			sc.dirtyY = append(sc.dirtyY, j)
+		}
+	}
+	sc.y[j] = v
+}
+
+// setZ is the z-vector analogue of setY.
+func (sc *scratch) setZ(j int, v float64) {
+	if !sc.inZ[j] {
+		if math.Abs(v) > PropagationCutoff {
+			sc.inZ[j] = true
+			sc.newIdx = append(sc.newIdx, j)
+		} else {
+			sc.dirtyZ = append(sc.dirtyZ, j)
+		}
+	}
+	sc.z[j] = v
 }
 
 // mergeTail merges the sorted, disjoint list add into the sorted slice
@@ -121,31 +161,75 @@ func mergeTail(supp []int, from int, add []int) []int {
 	return supp
 }
 
+// Add accumulates the counters of o into st. Parallel callers keep one
+// Stats per worker and merge them once the workers are done.
+func (st *Stats) Add(o Stats) {
+	st.Rank1Updates += o.Rank1Updates
+	st.StepsTouched += o.StepsTouched
+	st.Dropped += o.Dropped
+}
+
+// Workspace owns the dense recurrence scratch (the y/z work vectors and
+// their support lists) so a caller applying many updates — the cluster
+// chains of CLUDE/CINC, one Workspace per worker goroutine — reuses one
+// allocation instead of paying O(n) per update. The zero value is ready
+// to use; a Workspace must not be shared between concurrent updates.
+type Workspace struct {
+	sc *scratch
+}
+
+// grab returns clean scratch of dimension n, reallocating only when the
+// dimension changes. Every update leaves its touched positions recorded
+// in the support or dirty lists (even on error paths), so resetting on
+// grab restores a fully zeroed workspace.
+func (w *Workspace) grab(n int) *scratch {
+	if w.sc == nil || len(w.sc.y) != n {
+		w.sc = newScratch(n)
+		return w.sc
+	}
+	w.sc.reset()
+	return w.sc
+}
+
+// UpdateStatic is the package-level UpdateStatic with this workspace's
+// scratch.
+func (w *Workspace) UpdateStatic(f *lu.StaticFactors, delta []sparse.Entry, st *Stats) error {
+	if st == nil {
+		st = &Stats{}
+	}
+	sc := w.grab(f.Dim())
+	return applyDelta(delta, sc, st, func(sigma float64, sc *scratch, st *Stats) error {
+		return rank1Static(f, sigma, sc, st)
+	})
+}
+
+// UpdateDynamic is the package-level UpdateDynamic with this
+// workspace's scratch.
+func (w *Workspace) UpdateDynamic(d *lu.DynamicFactors, delta []sparse.Entry, st *Stats) error {
+	if st == nil {
+		st = &Stats{}
+	}
+	sc := w.grab(d.Dim())
+	return applyDelta(delta, sc, st, func(sigma float64, sc *scratch, st *Stats) error {
+		return rank1Dynamic(d, sigma, sc, st)
+	})
+}
+
 // UpdateStatic applies ∆A (entries of A_new − A_old, in the reordered
 // index space of the factors) to a static container in place. The
 // container's frozen structure must cover all significant fill; under
 // CLUDE that is guaranteed by the cluster USSP (Theorem 1).
 func UpdateStatic(f *lu.StaticFactors, delta []sparse.Entry, st *Stats) error {
-	if st == nil {
-		st = &Stats{}
-	}
-	sc := newScratch(f.Dim())
-	return applyDelta(delta, sc, st, func(sigma float64, sc *scratch, st *Stats) error {
-		return rank1Static(f, sigma, sc, st)
-	})
+	var w Workspace
+	return w.UpdateStatic(f, delta, st)
 }
 
 // UpdateDynamic applies ∆A to a dynamic (linked-list) container in
 // place, splicing in new nodes for fill as the traditional incremental
 // algorithm must.
 func UpdateDynamic(d *lu.DynamicFactors, delta []sparse.Entry, st *Stats) error {
-	if st == nil {
-		st = &Stats{}
-	}
-	sc := newScratch(d.Dim())
-	return applyDelta(delta, sc, st, func(sigma float64, sc *scratch, st *Stats) error {
-		return rank1Dynamic(d, sigma, sc, st)
-	})
+	var w Workspace
+	return w.UpdateDynamic(d, delta, st)
 }
 
 // Rank1Static applies the single update A ← A + σ·y·zᵀ to a static
@@ -265,12 +349,7 @@ func rank1Static(f *lu.StaticFactors, sigma float64, sc *scratch, st *Stats) err
 				lv := vals[p]
 				vals[p] = (di*lv + sigma*zi*sc.y[j]) / dip
 				if lv != 0 {
-					ynew := sc.y[j] - yi*lv
-					if !sc.inY[j] && math.Abs(ynew) > PropagationCutoff {
-						sc.inY[j] = true
-						sc.newIdx = append(sc.newIdx, j)
-					}
-					sc.y[j] = ynew
+					sc.setY(j, sc.y[j]-yi*lv)
 				}
 			}
 		case zi != 0: // yi == 0: dip == di; only positions with y_j != 0 move
@@ -297,23 +376,23 @@ func rank1Static(f *lu.StaticFactors, sigma float64, sc *scratch, st *Stats) err
 		default: // yi != 0, zi == 0: L unchanged, only y propagates
 			for p, j := range rows {
 				if lv := vals[p]; lv != 0 {
-					ynew := sc.y[j] - yi*lv
-					if !sc.inY[j] && math.Abs(ynew) > PropagationCutoff {
-						sc.inY[j] = true
-						sc.newIdx = append(sc.newIdx, j)
-					}
-					sc.y[j] = ynew
+					sc.setY(j, sc.y[j]-yi*lv)
 				}
 			}
 		}
+		// Merge the promotions before any error exit below: positions
+		// marked inY must be reachable from ysupp or reset() cannot
+		// clear them and a reused scratch would be corrupted.
+		sc.ysupp = mergeTail(sc.ysupp, py, sc.newIdx)
 		if zi != 0 && yi != 0 {
 			// Out-of-structure positions: supp(y) ∩ (i, n) \ rows.
-			// (The yi == 0 case checked them inline above.)
+			// (The yi == 0 case checked them inline above. Freshly
+			// promoted positions come from rows, so they are covered
+			// by the structural pass and scanning them is harmless.)
 			if err := staticExtras(sc.ysupp[py:], rows, sc.y, sigma*zi/dip, st); err != nil {
 				return err
 			}
 		}
-		sc.ysupp = mergeTail(sc.ysupp, py, sc.newIdx)
 
 		// ---- U row i and z propagation ----
 		ulo, uhi := f.URowPtr[i], f.URowPtr[i+1]
@@ -326,12 +405,7 @@ func rank1Static(f *lu.StaticFactors, sigma float64, sc *scratch, st *Stats) err
 				uv := uvals[p]
 				uvals[p] = (di*uv + sigma*yi*sc.z[j]) / dip
 				if uv != 0 {
-					znew := sc.z[j] - zi*uv
-					if !sc.inZ[j] && math.Abs(znew) > PropagationCutoff {
-						sc.inZ[j] = true
-						sc.newIdx = append(sc.newIdx, j)
-					}
-					sc.z[j] = znew
+					sc.setZ(j, sc.z[j]-zi*uv)
 				}
 			}
 		case yi != 0: // zi == 0: only positions with z_j != 0 move
@@ -354,21 +428,17 @@ func rank1Static(f *lu.StaticFactors, sigma float64, sc *scratch, st *Stats) err
 		default: // zi != 0, yi == 0: U unchanged, z propagates
 			for p, j := range cols {
 				if uv := uvals[p]; uv != 0 {
-					znew := sc.z[j] - zi*uv
-					if !sc.inZ[j] && math.Abs(znew) > PropagationCutoff {
-						sc.inZ[j] = true
-						sc.newIdx = append(sc.newIdx, j)
-					}
-					sc.z[j] = znew
+					sc.setZ(j, sc.z[j]-zi*uv)
 				}
 			}
 		}
+		// Same ordering as the L phase: merge before the error exit.
+		sc.zsupp = mergeTail(sc.zsupp, pz, sc.newIdx)
 		if yi != 0 && zi != 0 {
 			if err := staticExtras(sc.zsupp[pz:], cols, sc.z, sigma*yi/dip, st); err != nil {
 				return err
 			}
 		}
-		sc.zsupp = mergeTail(sc.zsupp, pz, sc.newIdx)
 
 		sigma *= di / dip
 		f.D[i] = dip

@@ -1,6 +1,7 @@
 package bennett
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -288,5 +289,117 @@ func TestEdgeDeletionDelta(t *testing.T) {
 	}
 	if !f.Reconstruct().EqualApprox(b, 1e-8) {
 		t.Error("deletion update wrong")
+	}
+}
+
+// TestWorkspaceReuseMatchesOneShot applies the same update chain
+// through a reused Workspace and through the allocating entry points;
+// the factors must come out identical (the workspace is pure scratch).
+func TestWorkspaceReuseMatchesOneShot(t *testing.T) {
+	rng := xrand.New(4242)
+	n := 40
+	// Build a chain a0 → a1 → … and the USSP covering it, as a CLUDE
+	// cluster would.
+	mats := []*sparse.CSR{randomDominant(rng, n, 4*n)}
+	union := mats[0].Pattern()
+	for step := 0; step < 5; step++ {
+		next := applyEntries(mats[len(mats)-1], smallDelta(rng, mats[len(mats)-1], 6))
+		union = union.Union(next.Pattern())
+		mats = append(mats, next)
+	}
+	build := func() *lu.StaticFactors {
+		f := lu.NewStaticFactors(lu.Symbolic(union))
+		if err := f.Factorize(mats[0]); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	fOne, fWS := build(), build()
+	var ws Workspace
+	for k := 1; k < len(mats); k++ {
+		delta := sparse.Delta(mats[k-1], mats[k])
+		if err := UpdateStatic(fOne, delta, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.UpdateStatic(fWS, delta, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !fOne.Reconstruct().EqualApprox(fWS.Reconstruct(), 1e-12) {
+		t.Error("workspace-reused updates diverged from one-shot updates")
+	}
+
+	// The same workspace must survive a dimension change and serve the
+	// dynamic container too.
+	b := randomDominant(rng, 15, 50)
+	fb := lu.NewStaticFactors(lu.Symbolic(b.Pattern()))
+	if err := fb.Factorize(b); err != nil {
+		t.Fatal(err)
+	}
+	dyn := lu.NewDynamicFactors(fb)
+	if err := ws.UpdateDynamic(dyn, smallDelta(rng, b, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Rank1Updates: 1, StepsTouched: 2, Dropped: 3}
+	a.Add(Stats{Rank1Updates: 10, StepsTouched: 20, Dropped: 30})
+	if a != (Stats{Rank1Updates: 11, StepsTouched: 22, Dropped: 33}) {
+		t.Errorf("Stats.Add = %+v", a)
+	}
+}
+
+// TestWorkspaceCleanAfterFailedUpdate reproduces the engine's fallback
+// path: an update fails with ErrOutOfPattern mid-recurrence — after
+// the recurrence has already promoted new support positions — the
+// caller refactorizes, and the SAME workspace serves the next update.
+// The failed attempt must leave no residue. (The bug: the staticExtras
+// error exit skipped mergeTail, so promotions stayed marked inY with
+// nonzero values that reset() could not find.)
+func TestWorkspaceCleanAfterFailedUpdate(t *testing.T) {
+	// A(0,0)=3, A(1,0)=A(0,1)=-1, rest diagonal: the tight structure
+	// holds L(1,0) and U(0,1) and nothing else off-diagonal.
+	n := 5
+	c := sparse.NewCOO(n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 3)
+	}
+	c.Add(1, 0, -1)
+	c.Add(0, 1, -1)
+	a := c.ToCSR()
+	build := func() *lu.StaticFactors {
+		f := lu.NewStaticFactors(lu.Symbolic(a.Pattern()))
+		if err := f.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	// Poison: a column-0 rank-1 term with y = {0, 4}. At pivot 0 both
+	// y0 and z0 are nonzero, so walking L column 0 promotes y[1]
+	// (through L(1,0)) into newIdx; then the out-of-structure position
+	// (4,0) raises ErrOutOfPattern from staticExtras — after the
+	// promotion, before the old code merged it into the support.
+	var ws Workspace
+	fPoison := build()
+	poison := []sparse.Entry{{Row: 0, Col: 0, Val: 0.5}, {Row: 4, Col: 0, Val: 0.5}}
+	if err := ws.UpdateStatic(fPoison, poison, nil); !errors.Is(err, ErrOutOfPattern) {
+		t.Fatalf("poison update: got %v, want ErrOutOfPattern", err)
+	}
+
+	// A benign update whose pivot-0 column walk reads y[1]: any
+	// residue from the failed attempt shows up in L(1,0).
+	good := []sparse.Entry{{Row: 0, Col: 0, Val: 0.2}}
+	fReused, fFresh := build(), build()
+	if err := ws.UpdateStatic(fReused, good, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateStatic(fFresh, good, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !fReused.Reconstruct().EqualApprox(fFresh.Reconstruct(), 0) {
+		t.Errorf("workspace reused after a failed update diverged: L(1,0) reused %v, fresh %v",
+			fReused.LAt(1, 0), fFresh.LAt(1, 0))
 	}
 }

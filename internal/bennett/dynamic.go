@@ -42,12 +42,12 @@ func rank1Dynamic(d *lu.DynamicFactors, sigma float64, sc *scratch, st *Stats) e
 
 		// L column i: values, y propagation, fill splicing.
 		sc.newIdx = sc.newIdx[:0]
-		walkDynamic(d, true, i, sc.ysupp[py:], sc.y, sc.inY, &sc.newIdx, di, dip, sigma, yi, zi)
+		walkDynamic(d, true, i, sc.ysupp[py:], sc.y, sc.inY, &sc.newIdx, &sc.dirtyY, di, dip, sigma, yi, zi)
 		sc.ysupp = mergeTail(sc.ysupp, py, sc.newIdx)
 
 		// U row i: values, z propagation, fill splicing.
 		sc.newIdx = sc.newIdx[:0]
-		walkDynamic(d, false, i, sc.zsupp[pz:], sc.z, sc.inZ, &sc.newIdx, di, dip, sigma, zi, yi)
+		walkDynamic(d, false, i, sc.zsupp[pz:], sc.z, sc.inZ, &sc.newIdx, &sc.dirtyZ, di, dip, sigma, zi, yi)
 		sc.zsupp = mergeTail(sc.zsupp, pz, sc.newIdx)
 
 		sigma *= di / dip
@@ -63,7 +63,7 @@ func rank1Dynamic(d *lu.DynamicFactors, sigma float64, sc *scratch, st *Stats) e
 // supp must be sorted and contain only indices > i; it lists every
 // position where vec may be non-zero beyond i.
 func walkDynamic(d *lu.DynamicFactors, isL bool, i int, supp []int,
-	vec []float64, inSupp []bool, newIdx *[]int,
+	vec []float64, inSupp []bool, newIdx, dirty *[]int,
 	di, dip, sigma, own, other float64) {
 
 	heads := d.UHead
@@ -92,9 +92,15 @@ func walkDynamic(d *lu.DynamicFactors, isL bool, i int, supp []int,
 			}
 			if own != 0 && v != 0 {
 				vnew := vec[jList] - own*v
-				if !inSupp[jList] && math.Abs(vnew) > PropagationCutoff {
-					inSupp[jList] = true
-					*newIdx = append(*newIdx, jList)
+				if !inSupp[jList] {
+					if math.Abs(vnew) > PropagationCutoff {
+						inSupp[jList] = true
+						*newIdx = append(*newIdx, jList)
+					} else {
+						// Not propagated, but reset must zero it (see
+						// scratch.dirtyY).
+						*dirty = append(*dirty, jList)
+					}
 				}
 				vec[jList] = vnew
 			}

@@ -25,6 +25,52 @@ type Cluster struct {
 // Len returns the number of matrices in the cluster.
 func (c Cluster) Len() int { return c.End - c.Start }
 
+// Contains reports whether matrix index i falls inside the cluster.
+func (c Cluster) Contains(i int) bool { return i >= c.Start && i < c.End }
+
+// Members returns the matrix indices covered by the cluster, in
+// sequence order.
+func (c Cluster) Members() []int {
+	out := make([]int, 0, c.Len())
+	for i := c.Start; i < c.End; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Partition reports whether cs is a contiguous partition of [0, T) —
+// the invariant every clustering pass must maintain and the execution
+// engine's emission reordering relies on.
+func Partition(cs []Cluster, T int) bool {
+	at := 0
+	for _, c := range cs {
+		if c.Start != at || c.End < c.Start {
+			return false
+		}
+		at = c.End
+	}
+	return at == T
+}
+
+// Covering returns the index of the cluster containing matrix i, or -1
+// if no cluster covers it. cs must be sorted by Start (as every
+// clustering pass produces); the lookup is a binary search.
+func Covering(cs []Cluster, i int) int {
+	lo, hi := 0, len(cs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case i < cs[mid].Start:
+			hi = mid
+		case i >= cs[mid].End:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
 // Alpha performs α-clustering (Algorithm 1): matrices are appended to
 // the current cluster as long as mes(A∩, A∪) ≥ α; when the bound would
 // break, a new cluster starts. α = 1 makes every cluster a single

@@ -217,3 +217,64 @@ func TestBetaLargerBetaFewerClusters(t *testing.T) {
 		t.Errorf("looser beta gave more clusters (%d) than tighter (%d)", loose, tight)
 	}
 }
+
+func TestClusterBoundaryHelpers(t *testing.T) {
+	c := Cluster{Start: 3, End: 7}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if got, want := c.Contains(i), i >= 3 && i < 7; got != want {
+			t.Errorf("Contains(%d) = %v", i, got)
+		}
+	}
+	want := []int{3, 4, 5, 6}
+	got := c.Members()
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPartitionAndCovering(t *testing.T) {
+	cs := []Cluster{{Start: 0, End: 2}, {Start: 2, End: 5}, {Start: 5, End: 9}}
+	if !Partition(cs, 9) {
+		t.Error("valid partition rejected")
+	}
+	if Partition(cs, 10) {
+		t.Error("short partition accepted")
+	}
+	if Partition([]Cluster{{Start: 0, End: 2}, {Start: 3, End: 5}}, 5) {
+		t.Error("gapped partition accepted")
+	}
+	if Partition(nil, 0) != true {
+		t.Error("empty partition of [0,0) rejected")
+	}
+	for i := 0; i < 9; i++ {
+		ci := Covering(cs, i)
+		if ci < 0 || !cs[ci].Contains(i) {
+			t.Errorf("Covering(%d) = %d", i, ci)
+		}
+	}
+	if Covering(cs, 9) != -1 || Covering(cs, -1) != -1 {
+		t.Error("out-of-range index covered")
+	}
+	if Covering(nil, 0) != -1 {
+		t.Error("empty cluster list covered something")
+	}
+}
+
+func TestAlphaClustersPartition(t *testing.T) {
+	rng := xrand.New(41)
+	pats := driftingPatterns(rng, 18, 12, 3)
+	for _, alpha := range []float64{0, 0.5, 0.9, 1} {
+		cs := Alpha(pats, alpha)
+		if !Partition(cs, len(pats)) {
+			t.Errorf("alpha=%v clusters do not partition", alpha)
+		}
+	}
+}

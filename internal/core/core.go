@@ -1,18 +1,7 @@
-// Package core implements the paper's contribution: the four
-// algorithms for the LUDEM problem (Definition 3) — BF, INC, CINC and
-// CLUDE (§4) — plus the quality-constrained LUDEM-QC variants (§5),
-// with the per-phase timing breakdown the evaluation section reports
-// (clustering time t_c, Markowitz time t_M, full LU decomposition time
-// t_d, Bennett time t_B).
-//
-// All algorithms stream through the evolving matrix sequence: as soon
-// as matrix i's factors are current, the OnFactors callback (if any)
-// receives a ready-to-use solver for A_i. This is the intended usage
-// pattern — compute the measure series (PageRank, RWR, …) snapshot by
-// snapshot — and keeps memory bounded for long sequences.
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,7 +9,6 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/lu"
-	"repro/internal/order"
 	"repro/internal/sparse"
 )
 
@@ -39,10 +27,23 @@ const (
 type Options struct {
 	// Alpha is the α-clustering similarity threshold for CINC/CLUDE.
 	Alpha float64
+	// Workers bounds the worker pool that factors independent clusters
+	// concurrently. Zero (or negative) means runtime.GOMAXPROCS(0);
+	// one forces the sequential path. The pool never exceeds the
+	// number of clusters. See the package documentation for what
+	// Workers > 1 changes (and does not change) about callback
+	// ordering and phase times.
+	Workers int
+	// Context cancels a run in flight: workers observe cancellation
+	// between per-snapshot steps and Run returns the context's error.
+	// Nil means context.Background() (never cancelled).
+	Context context.Context
 	// OnFactors, when non-nil, is invoked once per matrix index with a
-	// solver whose factors are current for that matrix. The solver is
+	// solver whose factors are current for that matrix, strictly in
+	// snapshot order i = 0..T-1 regardless of Workers. The solver is
 	// only valid during the callback (factors are updated in place for
-	// the next matrix afterwards).
+	// the next matrix afterwards). Callbacks never run concurrently
+	// with each other.
 	OnFactors func(i int, s *lu.Solver)
 	// MeasureQuality computes |s̃p(A_i^{O_i})| for every matrix after
 	// the run (outside the timed section) so quality-loss can be
@@ -56,7 +57,10 @@ type Options struct {
 	StarSizes []int
 }
 
-// PhaseTimes is the execution-time breakdown of Figure 8(a).
+// PhaseTimes is the execution-time breakdown of Figure 8(a). The
+// phases are accumulated per worker and summed, so with Workers > 1
+// they measure aggregate CPU time and their total can exceed Wall —
+// that surplus is exactly the work the pool overlapped.
 type PhaseTimes struct {
 	Clustering time.Duration // t_c: α- or β-clustering
 	Ordering   time.Duration // t_M: Markowitz / MinDegree runs
@@ -104,13 +108,13 @@ type Result struct {
 func Run(ems *graph.EMS, alg Algorithm, opt Options) (*Result, error) {
 	switch alg {
 	case BF:
-		return runBF(ems, opt)
+		return execute(ems, alg, opt, bfPlanner{})
 	case INC:
-		return runINC(ems, opt)
+		return execute(ems, alg, opt, incPlanner{})
 	case CINC:
-		return runClustered(ems, opt, false)
+		return execute(ems, alg, opt, alphaPlanner{label: "CINC", alpha: opt.Alpha})
 	case CLUDE:
-		return runClustered(ems, opt, true)
+		return execute(ems, alg, opt, alphaPlanner{label: "CLUDE", alpha: opt.Alpha, useUnion: true})
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
 	}
@@ -123,206 +127,6 @@ func patterns(ems *graph.EMS) []*sparse.Pattern {
 		ps[i] = a.Pattern()
 	}
 	return ps
-}
-
-// runBF decomposes every matrix from scratch under its own Markowitz
-// ordering. It is the quality reference (SSPSizes are the |s̃p(A*)| of
-// Definition 4) and the speed baseline.
-func runBF(ems *graph.EMS, opt Options) (*Result, error) {
-	res := &Result{Algorithm: BF, T: ems.Len(), SSPSizes: make([]int, ems.Len())}
-	start := time.Now()
-	for i, a := range ems.Matrices {
-		t0 := time.Now()
-		ord := order.Markowitz(a.Pattern())
-		res.Times.Ordering += time.Since(t0)
-		res.SSPSizes[i] = ord.SSPSize
-
-		t1 := time.Now()
-		solver, err := lu.FactorizeOrdered(a, ord.Ordering)
-		if err != nil {
-			return nil, fmt.Errorf("core: BF matrix %d: %w", i, err)
-		}
-		res.Times.FullLU += time.Since(t1)
-		res.StructureSizes = append(res.StructureSizes, solver.F.Size())
-		res.Clusters = append(res.Clusters, cluster.Cluster{Start: i, End: i + 1})
-		if opt.OnFactors != nil {
-			opt.OnFactors(i, solver)
-		}
-	}
-	res.Wall = time.Since(start)
-	return res, nil
-}
-
-// runINC applies the Markowitz ordering of A_1 to the whole sequence
-// and updates a single dynamic factor structure with Bennett's
-// algorithm (paper §4, "Straightly Incremental").
-func runINC(ems *graph.EMS, opt Options) (*Result, error) {
-	res := &Result{Algorithm: INC, T: ems.Len()}
-	start := time.Now()
-
-	t0 := time.Now()
-	ord := order.Markowitz(ems.Matrices[0].Pattern())
-	res.Times.Ordering += time.Since(t0)
-
-	t1 := time.Now()
-	a0 := ems.Matrices[0].Permute(ord.Ordering)
-	static := lu.NewStaticFactors(lu.Symbolic(a0.Pattern()))
-	if err := static.Factorize(a0); err != nil {
-		return nil, fmt.Errorf("core: INC initial decomposition: %w", err)
-	}
-	dyn := lu.NewDynamicFactors(static)
-	res.Times.FullLU += time.Since(t1)
-
-	solver := &lu.Solver{F: dyn, O: ord.Ordering}
-	if opt.OnFactors != nil {
-		opt.OnFactors(0, solver)
-	}
-
-	prev := a0
-	for i := 1; i < ems.Len(); i++ {
-		t2 := time.Now()
-		cur := ems.Matrices[i].Permute(ord.Ordering)
-		delta := sparse.Delta(prev, cur)
-		err := bennett.UpdateDynamic(dyn, delta, &res.Bennett)
-		res.Times.Bennett += time.Since(t2)
-		if err != nil {
-			// Robustness fallback (never triggered by paper-like
-			// workloads): refactorize from scratch in the same order.
-			t3 := time.Now()
-			st := lu.NewStaticFactors(lu.Symbolic(cur.Pattern()))
-			if ferr := st.Factorize(cur); ferr != nil {
-				return nil, fmt.Errorf("core: INC matrix %d: update %v; refactorization %w", i, err, ferr)
-			}
-			dyn = lu.NewDynamicFactors(st)
-			solver.F = dyn
-			res.Refactorizations++
-			res.Times.FullLU += time.Since(t3)
-		}
-		prev = cur
-		if opt.OnFactors != nil {
-			opt.OnFactors(i, solver)
-		}
-	}
-	res.Wall = time.Since(start)
-	res.DynamicInserts = dyn.Inserts
-	res.DynamicScanSteps = dyn.ScanSteps
-	res.StructureSizes = []int{dyn.Size()}
-	res.Clusters = []cluster.Cluster{{Start: 0, End: ems.Len()}}
-
-	if opt.MeasureQuality {
-		res.SSPSizes = measureQuality(ems, func(int) sparse.Ordering { return ord.Ordering })
-	}
-	return res, nil
-}
-
-// runClustered implements CINC (useUnion=false: Algorithm 2 applied per
-// α-cluster) and CLUDE (useUnion=true: Algorithm 3 with the USSP static
-// structure).
-func runClustered(ems *graph.EMS, opt Options, useUnion bool) (*Result, error) {
-	alg := CINC
-	if useUnion {
-		alg = CLUDE
-	}
-	res := &Result{Algorithm: alg, T: ems.Len()}
-	start := time.Now()
-
-	tc := time.Now()
-	pats := patterns(ems)
-	clusters := cluster.Alpha(pats, opt.Alpha)
-	res.Times.Clustering = time.Since(tc)
-	res.Clusters = clusters
-
-	orderings := make([]sparse.Ordering, len(clusters))
-
-	for ci, cl := range clusters {
-		// --- Ordering for the cluster ---
-		t0 := time.Now()
-		var ord order.Result
-		if useUnion {
-			ord = order.Markowitz(cl.Union) // O∪ = O*(A∪), Alg. 3 line 2
-		} else {
-			ord = order.Markowitz(pats[cl.Start]) // O1 = O*(A1), Alg. 2 line 1
-		}
-		res.Times.Ordering += time.Since(t0)
-		orderings[ci] = ord.Ordering
-
-		// --- Full decomposition of the first cluster member ---
-		t1 := time.Now()
-		first := ems.Matrices[cl.Start].Permute(ord.Ordering)
-		var sym *lu.SymbolicLU
-		if useUnion {
-			// Symbolic decomposition of A∪^{O∪} gives the USSP; the
-			// static structure built from it serves the whole cluster
-			// (Alg. 3 lines 3–4).
-			sym = lu.Symbolic(cl.Union.Permute(ord.Ordering))
-		} else {
-			sym = lu.Symbolic(first.Pattern())
-		}
-		static := lu.NewStaticFactors(sym)
-		if err := static.Factorize(first); err != nil {
-			return nil, fmt.Errorf("core: %s cluster %d: %w", alg, ci, err)
-		}
-		var fac lu.Factors = static
-		var dyn *lu.DynamicFactors
-		if !useUnion {
-			dyn = lu.NewDynamicFactors(static)
-			fac = dyn
-		}
-		res.Times.FullLU += time.Since(t1)
-
-		solver := &lu.Solver{F: fac, O: ord.Ordering}
-		if opt.OnFactors != nil {
-			opt.OnFactors(cl.Start, solver)
-		}
-
-		// --- Bennett across the rest of the cluster ---
-		prev := first
-		for i := cl.Start + 1; i < cl.End; i++ {
-			t2 := time.Now()
-			cur := ems.Matrices[i].Permute(ord.Ordering)
-			delta := sparse.Delta(prev, cur)
-			var err error
-			if useUnion {
-				err = bennett.UpdateStatic(static, delta, &res.Bennett)
-			} else {
-				err = bennett.UpdateDynamic(dyn, delta, &res.Bennett)
-			}
-			res.Times.Bennett += time.Since(t2)
-			if err != nil {
-				t3 := time.Now()
-				if ferr := refactorInPlace(&fac, &static, &dyn, cur, useUnion, sym); ferr != nil {
-					return nil, fmt.Errorf("core: %s matrix %d: update %v; refactorization %w", alg, i, err, ferr)
-				}
-				solver.F = fac
-				res.Refactorizations++
-				res.Times.FullLU += time.Since(t3)
-			}
-			prev = cur
-			if opt.OnFactors != nil {
-				opt.OnFactors(i, solver)
-			}
-		}
-		if dyn != nil {
-			res.DynamicInserts += dyn.Inserts
-			res.DynamicScanSteps += dyn.ScanSteps
-			res.StructureSizes = append(res.StructureSizes, dyn.Size())
-		} else {
-			res.StructureSizes = append(res.StructureSizes, static.Size())
-		}
-	}
-	res.Wall = time.Since(start)
-
-	if opt.MeasureQuality {
-		res.SSPSizes = measureQuality(ems, func(i int) sparse.Ordering {
-			for ci, cl := range clusters {
-				if i >= cl.Start && i < cl.End {
-					return orderings[ci]
-				}
-			}
-			panic("core: matrix not covered by clusters")
-		})
-	}
-	return res, nil
 }
 
 // refactorInPlace rebuilds factors for cur after a failed incremental

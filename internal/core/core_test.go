@@ -256,7 +256,11 @@ func TestQualityLossHelpers(t *testing.T) {
 
 func TestPhaseTimesAccounted(t *testing.T) {
 	ems := smallEMS(t)
-	res, err := Run(ems, CLUDE, Options{Alpha: 0.95})
+	// Workers: 1 pins the sequential path, where the per-phase
+	// breakdown and the wall clock measure the same execution (with
+	// Workers > 1 the phases sum CPU time across the pool and may
+	// legitimately exceed Wall).
+	res, err := Run(ems, CLUDE, Options{Alpha: 0.95, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,5 +269,14 @@ func TestPhaseTimesAccounted(t *testing.T) {
 	}
 	if res.Times.Total() > res.Wall*2 {
 		t.Error("phase times exceed wall clock implausibly")
+	}
+
+	// The parallel path must still account nonzero phase time.
+	par, err := Run(ems, CLUDE, Options{Alpha: 0.95, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Times.Total() <= 0 {
+		t.Error("no phase time recorded under a worker pool")
 	}
 }

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bennett"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// This file is the execution engine behind Run and RunQC. Every LUDEM
+// algorithm is expressed as the same four-stage pipeline:
+//
+//	planner      →  jobs (one per cluster; t_c)
+//	orderStage   →  cluster ordering (t_M)
+//	factorStage  →  symbolic + full LU of the first member (t_d)
+//	updateStage  →  Bennett chain across the rest of the cluster (t_B)
+//
+// The planner is the only algorithm-specific part: BF plans singleton
+// clusters, INC one cluster covering the whole sequence, CINC/CLUDE
+// α-clusters, and the QC variants β-clusters with their orderings
+// already attached. Clusters are mutually independent, so jobs are
+// dispatched to a bounded worker pool; an ordered-emission stage keeps
+// the OnFactors callback contract (snapshot order i = 0..T-1) intact
+// under any worker count.
+
+// job is one independent unit of pipeline work: a cluster of
+// consecutive matrices factored under one shared ordering.
+type job struct {
+	idx      int // position in cluster order
+	cl       cluster.Cluster
+	useUnion bool // ordering and USSP structure from the cluster union (CLUDE)
+	hasOrd   bool // ord was precomputed by the planner (β-clustering)
+	ord      sparse.Ordering
+}
+
+// plan is a planner's output: the error-message label plus the job
+// list in cluster order (jobs[k].cl.Start increasing, contiguous).
+type plan struct {
+	label string
+	jobs  []job
+}
+
+// planner is the clustering stage. Its cost is reported as t_c.
+type planner interface {
+	plan(e *engine) (plan, error)
+}
+
+// bfPlanner plans BF: every matrix is its own singleton cluster with
+// its own Markowitz ordering and full decomposition.
+type bfPlanner struct{}
+
+func (bfPlanner) plan(e *engine) (plan, error) {
+	jobs := make([]job, e.ems.Len())
+	for i := range jobs {
+		jobs[i] = job{idx: i, cl: cluster.Cluster{Start: i, End: i + 1}}
+	}
+	return plan{label: "BF", jobs: jobs}, nil
+}
+
+// incPlanner plans INC: one cluster covering the whole EMS, ordered by
+// its first matrix, updated through the dynamic container.
+type incPlanner struct{}
+
+func (incPlanner) plan(e *engine) (plan, error) {
+	return plan{label: "INC", jobs: []job{
+		{cl: cluster.Cluster{Start: 0, End: e.ems.Len()}},
+	}}, nil
+}
+
+// alphaPlanner plans CINC (useUnion=false) and CLUDE (useUnion=true):
+// α-clusters, ordered by the first member or the cluster union.
+type alphaPlanner struct {
+	label    string
+	alpha    float64
+	useUnion bool
+}
+
+func (p alphaPlanner) plan(e *engine) (plan, error) {
+	clusters := cluster.Alpha(patterns(e.ems), p.alpha)
+	jobs := make([]job, len(clusters))
+	for i, cl := range clusters {
+		jobs[i] = job{idx: i, cl: cl, useUnion: p.useUnion}
+	}
+	return plan{label: p.label, jobs: jobs}, nil
+}
+
+// betaPlanner plans the LUDEM-QC variants: β-clustering interleaves
+// clustering with ordering runs (Algorithms 4–5), so the jobs come out
+// with their orderings attached and t_M stays zero — the full cost is
+// t_c, as the paper reports it.
+type betaPlanner struct {
+	label    string
+	beta     float64
+	useUnion bool
+	star     []int
+}
+
+func (p betaPlanner) plan(e *engine) (plan, error) {
+	pats := patterns(e.ems)
+	var star func(i int, pat *sparse.Pattern) int
+	if p.star != nil {
+		star = cluster.StarTable(p.star)
+	}
+	var qcs []cluster.QCResult
+	if p.useUnion {
+		qcs = cluster.BetaCLUDE(pats, p.beta, star)
+	} else {
+		qcs = cluster.BetaCINC(pats, p.beta, star)
+	}
+	jobs := make([]job, len(qcs))
+	for i, qc := range qcs {
+		jobs[i] = job{idx: i, cl: qc.Cluster, useUnion: p.useUnion, hasOrd: true, ord: qc.Ordering}
+	}
+	return plan{label: p.label, jobs: jobs}, nil
+}
+
+// worker is the per-goroutine state of the pool: reusable scratch
+// buffers so the hot path does not allocate, plus local counters that
+// are merged into the Result once the pool drains (keeping the
+// per-phase breakdown t_c/t_M/t_d/t_B correct across workers).
+type worker struct {
+	luWS  lu.Workspace
+	benWS bennett.Workspace
+
+	times   PhaseTimes
+	bstats  bennett.Stats
+	refacts int
+	dynIns  int
+	dynScan int
+
+	ack chan struct{} // emission acknowledgements (buffered 1)
+}
+
+// jobState threads one cluster through the per-cluster stages.
+type jobState struct {
+	job     job
+	ord     sparse.Ordering
+	sspSize int         // |s̃p| of the stage-computed ordering (BF records it)
+	colInv  sparse.Perm // o.Col.Inverse(), computed once per cluster
+	sym     *lu.SymbolicLU
+	static  *lu.StaticFactors
+	dyn     *lu.DynamicFactors
+	fac     lu.Factors
+	solver  *lu.Solver
+	prev    *sparse.CSR // previous cluster member, reordered
+}
+
+// stage is one per-cluster pipeline phase.
+type stage interface {
+	run(e *engine, w *worker, st *jobState) error
+}
+
+// pipeline is the fixed per-cluster stage sequence shared by all
+// algorithms.
+var pipeline = []stage{orderStage{}, factorStage{}, updateStage{}}
+
+// orderStage computes (or adopts) the cluster ordering — phase t_M.
+type orderStage struct{}
+
+func (orderStage) run(e *engine, w *worker, st *jobState) error {
+	if st.job.hasOrd {
+		st.ord = st.job.ord
+	} else {
+		t0 := time.Now()
+		var r order.Result
+		if st.job.useUnion {
+			r = order.Markowitz(st.job.cl.Union) // O∪ = O*(A∪), Alg. 3 line 2
+		} else {
+			r = order.Markowitz(e.ems.Matrices[st.job.cl.Start].Pattern()) // O1 = O*(A1)
+		}
+		w.times.Ordering += time.Since(t0)
+		st.ord, st.sspSize = r.Ordering, r.SSPSize
+	}
+	st.colInv = st.ord.Col.Inverse()
+	e.orderings[st.job.idx] = st.ord
+	if e.sspOut != nil && !st.job.hasOrd {
+		e.sspOut[st.job.cl.Start] = st.sspSize
+	}
+	return e.ctx.Err()
+}
+
+// factorStage builds the factor container and fully decomposes the
+// first cluster member into it — phase t_d — then emits snapshot
+// cl.Start.
+type factorStage struct{}
+
+func (factorStage) run(e *engine, w *worker, st *jobState) error {
+	cl := st.job.cl
+	t1 := time.Now()
+	first := e.ems.Matrices[cl.Start].PermuteInv(st.ord, st.colInv)
+	if st.job.useUnion {
+		// Symbolic decomposition of A∪^{O∪} gives the USSP; the static
+		// structure built from it serves the whole cluster (Alg. 3
+		// lines 3–4).
+		st.sym = lu.Symbolic(cl.Union.Permute(st.ord))
+	} else {
+		st.sym = lu.Symbolic(first.Pattern())
+	}
+	st.static = lu.NewStaticFactors(st.sym)
+	if err := st.static.FactorizeWith(first, &w.luWS); err != nil {
+		return fmt.Errorf("core: %s cluster %d (matrix %d): %w", e.label, st.job.idx, cl.Start, err)
+	}
+	st.fac = st.static
+	if !st.job.useUnion && cl.Len() > 1 {
+		// INC/CINC maintain the linked-list container across the
+		// cluster; singleton clusters (and all of BF) never update, so
+		// the static container serves directly.
+		st.dyn = lu.NewDynamicFactors(st.static)
+		st.fac = st.dyn
+	}
+	w.times.FullLU += time.Since(t1)
+
+	st.solver = &lu.Solver{F: st.fac, O: st.ord}
+	st.prev = first
+	return e.emit(w, cl.Start, st.solver)
+}
+
+// updateStage walks the rest of the cluster with Bennett updates —
+// phase t_B — emitting every snapshot, then records the cluster's
+// structural bookkeeping.
+type updateStage struct{}
+
+func (updateStage) run(e *engine, w *worker, st *jobState) error {
+	cl := st.job.cl
+	for i := cl.Start + 1; i < cl.End; i++ {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+		t2 := time.Now()
+		cur := e.ems.Matrices[i].PermuteInv(st.ord, st.colInv)
+		delta := sparse.Delta(st.prev, cur)
+		var err error
+		if st.job.useUnion {
+			err = w.benWS.UpdateStatic(st.static, delta, &w.bstats)
+		} else {
+			err = w.benWS.UpdateDynamic(st.dyn, delta, &w.bstats)
+		}
+		w.times.Bennett += time.Since(t2)
+		if err != nil {
+			// Robustness fallback (never triggered by paper-like
+			// workloads): refactorize from scratch in the same order.
+			t3 := time.Now()
+			if ferr := refactorInPlace(&st.fac, &st.static, &st.dyn, cur, st.job.useUnion, st.sym); ferr != nil {
+				return fmt.Errorf("core: %s matrix %d: update %v; refactorization %w", e.label, i, err, ferr)
+			}
+			st.solver.F = st.fac
+			w.refacts++
+			w.times.FullLU += time.Since(t3)
+		}
+		st.prev = cur
+		if err := e.emit(w, i, st.solver); err != nil {
+			return err
+		}
+	}
+	if st.dyn != nil {
+		w.dynIns += st.dyn.Inserts
+		w.dynScan += st.dyn.ScanSteps
+		e.structSizes[st.job.idx] = st.dyn.Size()
+	} else {
+		e.structSizes[st.job.idx] = st.static.Size()
+	}
+	return nil
+}
+
+// engine executes a plan's jobs over a bounded worker pool.
+type engine struct {
+	ems     *graph.EMS
+	opt     Options
+	label   string
+	workers int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	jobs        []job
+	orderings   []sparse.Ordering // per cluster, written by its owning worker
+	structSizes []int             // per cluster
+	sspOut      []int             // per matrix; non-nil only for BF
+
+	reqs    chan emitReq // nil when emission is inline (sequential or no callback)
+	errOnce sync.Once
+	err     error
+}
+
+// newEngine resolves the worker count (Workers <= 0 → GOMAXPROCS) and
+// the cancellation context (nil → Background).
+func newEngine(ems *graph.EMS, opt Options) *engine {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parent := opt.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	e := &engine{ems: ems, opt: opt, workers: workers}
+	e.ctx, e.cancel = context.WithCancel(parent)
+	return e
+}
+
+// fail records the first job error and cancels every other worker.
+func (e *engine) fail(err error) {
+	e.errOnce.Do(func() { e.err = err })
+	e.cancel()
+}
+
+// runJob drives one cluster through the pipeline stages.
+func (e *engine) runJob(w *worker, j job) error {
+	st := &jobState{job: j}
+	for _, s := range pipeline {
+		if err := s.run(e, w, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run executes the job list and merges the worker-local counters into
+// res. It returns the first job error, or the context's error if the
+// run was cancelled from outside.
+func (e *engine) run(res *Result) error {
+	nw := e.workers
+	if nw > len(e.jobs) {
+		nw = len(e.jobs)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	// The ordered-emission stage is only needed when callbacks can be
+	// produced out of order — i.e. a real pool and a real callback.
+	var emitterWG sync.WaitGroup
+	if e.opt.OnFactors != nil && nw > 1 {
+		// Each worker has at most one emission in flight, so capacity
+		// nw bounds both the channel and the reorder heap.
+		e.reqs = make(chan emitReq, nw)
+		emitterWG.Add(1)
+		go func() {
+			defer emitterWG.Done()
+			e.emitLoop()
+		}()
+	}
+
+	// Jobs are dispatched in cluster order over an unbuffered channel.
+	// This guarantees the lowest incomplete cluster is always owned by
+	// some worker, which is what makes the ordered-emission stage
+	// deadlock-free: that owner's emissions are always next in line.
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := make([]*worker, nw)
+	for wi := range workers {
+		w := &worker{ack: make(chan struct{}, 1)}
+		workers[wi] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if e.ctx.Err() != nil {
+					return
+				}
+				if err := e.runJob(w, j); err != nil {
+					e.fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for _, j := range e.jobs {
+		select {
+		case jobs <- j:
+		case <-e.ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if e.reqs != nil {
+		close(e.reqs)
+	}
+	emitterWG.Wait()
+
+	for _, w := range workers {
+		res.Times.Ordering += w.times.Ordering
+		res.Times.FullLU += w.times.FullLU
+		res.Times.Bennett += w.times.Bennett
+		res.Bennett.Add(w.bstats)
+		res.Refactorizations += w.refacts
+		res.DynamicInserts += w.dynIns
+		res.DynamicScanSteps += w.dynScan
+	}
+
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s cancelled: %w", e.label, err)
+	}
+	return nil
+}
+
+// emitReq asks the emitter to fire OnFactors for snapshot i. The
+// worker blocks until the emitter acknowledges, because the factors
+// behind s are updated in place for the next snapshot the moment the
+// callback returns.
+type emitReq struct {
+	i   int
+	s   *lu.Solver
+	ack chan struct{}
+}
+
+// reqHeap is a min-heap of pending emissions keyed by snapshot index.
+type reqHeap []emitReq
+
+func (h reqHeap) Len() int            { return len(h) }
+func (h reqHeap) Less(i, j int) bool  { return h[i].i < h[j].i }
+func (h reqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *reqHeap) Push(x interface{}) { *h = append(*h, x.(emitReq)) }
+func (h *reqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// emit delivers snapshot i to the OnFactors callback in snapshot
+// order. With no callback it is only a cancellation check; with one
+// worker the callback fires inline (the sequential path produces
+// snapshots in order by construction).
+func (e *engine) emit(w *worker, i int, s *lu.Solver) error {
+	if e.opt.OnFactors == nil {
+		return e.ctx.Err()
+	}
+	if e.reqs == nil {
+		e.opt.OnFactors(i, s)
+		return e.ctx.Err()
+	}
+	select {
+	case e.reqs <- emitReq{i: i, s: s, ack: w.ack}:
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	}
+	select {
+	case <-w.ack:
+		return e.ctx.Err()
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	}
+}
+
+// emitLoop is the ordered-emission stage: it buffers out-of-order
+// emissions in a min-heap (bounded by the worker count — each worker
+// blocks on its previous emission) and fires the callback strictly in
+// snapshot order 0..T-1 from this single goroutine.
+func (e *engine) emitLoop() {
+	next := 0
+	var pq reqHeap
+	for r := range e.reqs {
+		heap.Push(&pq, r)
+		for pq.Len() > 0 && pq[0].i == next && e.ctx.Err() == nil {
+			t := heap.Pop(&pq).(emitReq)
+			e.opt.OnFactors(t.i, t.s)
+			next++
+			t.ack <- struct{}{}
+		}
+	}
+	// Cancelled run: release whoever is still parked (acks are
+	// buffered, so this never blocks even if the worker already left).
+	for pq.Len() > 0 {
+		heap.Pop(&pq).(emitReq).ack <- struct{}{}
+	}
+}
+
+// execute is the shared driver behind Run and RunQC: plan (timed as
+// t_c), execute over the pool, then assemble the Result.
+func execute(ems *graph.EMS, alg Algorithm, opt Options, pl planner) (*Result, error) {
+	res := &Result{Algorithm: alg, T: ems.Len()}
+	e := newEngine(ems, opt)
+	defer e.cancel()
+
+	start := time.Now()
+	tc := time.Now()
+	p, err := pl.plan(e)
+	if err != nil {
+		return nil, err
+	}
+	res.Times.Clustering = time.Since(tc)
+
+	e.label = p.label
+	e.jobs = p.jobs
+	e.orderings = make([]sparse.Ordering, len(p.jobs))
+	e.structSizes = make([]int, len(p.jobs))
+	if alg == BF {
+		// BF's orderings come with |s̃p(A_i*)| for free; it is the
+		// quality reference, so it always records them.
+		res.SSPSizes = make([]int, ems.Len())
+		e.sspOut = res.SSPSizes
+	}
+
+	if err := e.run(res); err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+
+	res.Clusters = make([]cluster.Cluster, len(p.jobs))
+	for i, j := range p.jobs {
+		res.Clusters[i] = j.cl
+	}
+	res.StructureSizes = e.structSizes
+
+	if opt.MeasureQuality && alg != BF {
+		res.SSPSizes = measureQuality(ems, func(i int) sparse.Ordering {
+			ci := cluster.Covering(res.Clusters, i)
+			if ci < 0 {
+				panic("core: matrix not covered by clusters")
+			}
+			return e.orderings[ci]
+		})
+	}
+	return res, nil
+}

@@ -2,14 +2,10 @@ package core
 
 import (
 	"fmt"
-	"time"
 
-	"repro/internal/bennett"
 	"repro/internal/cluster"
 	"repro/internal/graph"
-	"repro/internal/lu"
 	"repro/internal/order"
-	"repro/internal/sparse"
 )
 
 // RunQC executes the LUDEM-QC variants of §5 on a symmetric EMS: alg
@@ -20,7 +16,10 @@ import (
 //
 // The β-clustering pass necessarily interleaves clustering with
 // MinDegree ordering runs (Algorithms 4–5), so its full cost is
-// reported under Times.Clustering; Times.Ordering stays zero.
+// reported under Times.Clustering; Times.Ordering stays zero. Workers,
+// Context and OnFactors behave exactly as in Run (see the package
+// documentation): β-clusters are factored concurrently and callbacks
+// still fire in snapshot order.
 func RunQC(ems *graph.EMS, alg Algorithm, beta float64, opt Options) (*Result, error) {
 	if alg != CINC && alg != CLUDE {
 		return nil, fmt.Errorf("core: RunQC supports CINC and CLUDE, not %q", alg)
@@ -30,100 +29,12 @@ func RunQC(ems *graph.EMS, alg Algorithm, beta float64, opt Options) (*Result, e
 			return nil, fmt.Errorf("core: RunQC requires symmetric matrices (matrix %d is not)", i)
 		}
 	}
-	useUnion := alg == CLUDE
-	res := &Result{Algorithm: alg, T: ems.Len()}
-	start := time.Now()
-
-	tc := time.Now()
-	pats := patterns(ems)
-	var star func(i int, p *sparse.Pattern) int
-	if opt.StarSizes != nil {
-		star = cluster.StarTable(opt.StarSizes)
-	}
-	var qcs []cluster.QCResult
-	if useUnion {
-		qcs = cluster.BetaCLUDE(pats, beta, star)
-	} else {
-		qcs = cluster.BetaCINC(pats, beta, star)
-	}
-	res.Times.Clustering = time.Since(tc)
-
-	for ci, qc := range qcs {
-		cl := qc.Cluster
-		res.Clusters = append(res.Clusters, cl)
-
-		t1 := time.Now()
-		first := ems.Matrices[cl.Start].Permute(qc.Ordering)
-		var sym *lu.SymbolicLU
-		if useUnion {
-			sym = lu.Symbolic(cl.Union.Permute(qc.Ordering))
-		} else {
-			sym = lu.Symbolic(first.Pattern())
-		}
-		static := lu.NewStaticFactors(sym)
-		if err := static.Factorize(first); err != nil {
-			return nil, fmt.Errorf("core: %s-QC cluster %d: %w", alg, ci, err)
-		}
-		var fac lu.Factors = static
-		var dyn *lu.DynamicFactors
-		if !useUnion {
-			dyn = lu.NewDynamicFactors(static)
-			fac = dyn
-		}
-		res.Times.FullLU += time.Since(t1)
-
-		solver := &lu.Solver{F: fac, O: qc.Ordering}
-		if opt.OnFactors != nil {
-			opt.OnFactors(cl.Start, solver)
-		}
-
-		prev := first
-		for i := cl.Start + 1; i < cl.End; i++ {
-			t2 := time.Now()
-			cur := ems.Matrices[i].Permute(qc.Ordering)
-			delta := sparse.Delta(prev, cur)
-			var err error
-			if useUnion {
-				err = bennett.UpdateStatic(static, delta, &res.Bennett)
-			} else {
-				err = bennett.UpdateDynamic(dyn, delta, &res.Bennett)
-			}
-			res.Times.Bennett += time.Since(t2)
-			if err != nil {
-				t3 := time.Now()
-				if ferr := refactorInPlace(&fac, &static, &dyn, cur, useUnion, sym); ferr != nil {
-					return nil, fmt.Errorf("core: %s-QC matrix %d: update %v; refactorization %w", alg, i, err, ferr)
-				}
-				solver.F = fac
-				res.Refactorizations++
-				res.Times.FullLU += time.Since(t3)
-			}
-			prev = cur
-			if opt.OnFactors != nil {
-				opt.OnFactors(i, solver)
-			}
-		}
-		if dyn != nil {
-			res.DynamicInserts += dyn.Inserts
-			res.DynamicScanSteps += dyn.ScanSteps
-			res.StructureSizes = append(res.StructureSizes, dyn.Size())
-		} else {
-			res.StructureSizes = append(res.StructureSizes, static.Size())
-		}
-	}
-	res.Wall = time.Since(start)
-
-	if opt.MeasureQuality {
-		res.SSPSizes = measureQuality(ems, func(i int) sparse.Ordering {
-			for _, qc := range qcs {
-				if i >= qc.Cluster.Start && i < qc.Cluster.End {
-					return qc.Ordering
-				}
-			}
-			panic("core: matrix not covered by QC clusters")
-		})
-	}
-	return res, nil
+	return execute(ems, alg, opt, betaPlanner{
+		label:    string(alg) + "-QC",
+		beta:     beta,
+		useUnion: alg == CLUDE,
+		star:     opt.StarSizes,
+	})
 }
 
 // StarSizes computes the reference |s̃p(A_i*)| series. For general

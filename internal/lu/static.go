@@ -205,19 +205,45 @@ func (e *SingularError) Error() string {
 	return fmt.Sprintf("lu: singular pivot %d (value %g)", e.Pivot, e.Value)
 }
 
+// Workspace holds the dense work vector a numeric factorization
+// scatters into. Callers that factorize many matrices — one full
+// decomposition per cluster in the LUDEM pipelines — keep one Workspace
+// per worker goroutine and pass it to FactorizeWith so the O(n) scratch
+// is allocated once. The zero value is ready to use; a Workspace must
+// not be shared between concurrent factorizations.
+type Workspace struct {
+	w []float64
+}
+
+// vector returns the scratch vector, (re)allocating when the dimension
+// changes. Factorize never reads a position it has not first written,
+// so stale values from a previous use are harmless.
+func (ws *Workspace) vector(n int) []float64 {
+	if len(ws.w) != n {
+		ws.w = make([]float64, n)
+	}
+	return ws.w
+}
+
 // Factorize runs the ND-phase of Crout LDU decomposition of the
 // (already reordered) matrix a into the frozen structure. The pattern
 // of a must be covered by the structure's symbolic pattern; positions
 // of the structure that receive no value stay zero, which is how one
 // cluster-wide USSP container serves every matrix in the cluster.
 func (f *StaticFactors) Factorize(a *sparse.CSR) error {
+	var ws Workspace
+	return f.FactorizeWith(a, &ws)
+}
+
+// FactorizeWith is Factorize with caller-owned scratch (see Workspace).
+func (f *StaticFactors) FactorizeWith(a *sparse.CSR, ws *Workspace) error {
 	if a.N() != f.n {
 		return fmt.Errorf("lu: matrix dimension %d does not match structure %d", a.N(), f.n)
 	}
 	f.Reset()
 	n := f.n
 	at := a.Transpose() // row i of at = column i of a
-	w := make([]float64, n)
+	w := ws.vector(n)
 
 	for k := 0; k < n; k++ {
 		// ---- Column k of L and pivot D[k] ----

@@ -264,3 +264,26 @@ func TestDynamicInsert(t *testing.T) {
 		t.Errorf("U row 0 order = %v, want [1 2]", cols)
 	}
 }
+
+// TestFactorizeWithSharedWorkspace factors two different matrices
+// through one Workspace and checks both against the allocating path.
+func TestFactorizeWithSharedWorkspace(t *testing.T) {
+	rng := xrand.New(321)
+	var ws Workspace
+	for trial := 0; trial < 4; trial++ {
+		n := 10 + rng.Intn(30)
+		a := randomDominant(rng, n, 3*n)
+		sym := Symbolic(a.Pattern())
+		plain := NewStaticFactors(sym)
+		if err := plain.Factorize(a); err != nil {
+			t.Fatal(err)
+		}
+		reused := NewStaticFactors(sym)
+		if err := reused.FactorizeWith(a, &ws); err != nil {
+			t.Fatal(err)
+		}
+		if !plain.Reconstruct().EqualApprox(reused.Reconstruct(), 1e-12) {
+			t.Fatalf("trial %d: workspace factorization differs", trial)
+		}
+	}
+}

@@ -112,11 +112,18 @@ func (m *CSR) Transpose() *CSR {
 // Permute returns A^O = P·A·Q for the ordering o, i.e. the matrix B
 // with B(i, j) = A(o.Row[i], o.Col[j]).
 func (m *CSR) Permute(o Ordering) *CSR {
+	return m.PermuteInv(o, o.Col.Inverse())
+}
+
+// PermuteInv is Permute with a caller-supplied inverse column
+// permutation colNewOf (old→new, i.e. o.Col.Inverse()). Cluster loops
+// that permute a whole run of matrices by one shared ordering compute
+// the inverse once instead of once per matrix.
+func (m *CSR) PermuteInv(o Ordering, colNewOf Perm) *CSR {
 	n := m.n
-	if len(o.Row) != n || len(o.Col) != n {
+	if len(o.Row) != n || len(o.Col) != n || len(colNewOf) != n {
 		panic("sparse: ordering dimension mismatch")
 	}
-	colNewOf := o.Col.Inverse() // old col -> new col
 	rowPtr := make([]int, n+1)
 	for i := 0; i < n; i++ {
 		old := o.Row[i]

@@ -274,3 +274,18 @@ func TestPermuteInverseProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPermuteInvMatchesPermute(t *testing.T) {
+	rng := xrand.New(77)
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + rng.Intn(20)
+		m := randomCSR(rng, n, 3*n)
+		o := Ordering{Row: Perm(rng.Perm(n)), Col: Perm(rng.Perm(n))}
+		inv := o.Col.Inverse()
+		want := m.Permute(o)
+		got := m.PermuteInv(o, inv)
+		if !want.EqualApprox(got, 0) {
+			t.Fatalf("PermuteInv differs from Permute")
+		}
+	}
+}
