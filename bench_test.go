@@ -11,7 +11,9 @@ package repro
 
 import (
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/bennett"
@@ -24,7 +26,10 @@ import (
 	"repro/internal/xrand"
 )
 
-// benchExperiment runs one harness experiment per iteration.
+// benchExperiment runs one harness experiment per iteration. When
+// BENCH_JSON_DIR is set (the CI bench job does), the first iteration's
+// tables are persisted as BENCH_<id>.json so every benchmark run
+// leaves a machine-readable artifact behind.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	d, err := bench.DatasetsFor(bench.Tiny)
@@ -35,10 +40,22 @@ func benchExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	jsonDir := os.Getenv("BENCH_JSON_DIR")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(d); err != nil {
+		t0 := time.Now()
+		tables, err := e.Run(d)
+		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 && jsonDir != "" {
+			b.StopTimer()
+			report := bench.NewReport()
+			report.Add(e, bench.Tiny, d.Workers, time.Since(t0), tables)
+			if err := bench.WriteJSON(bench.ArtifactPath(jsonDir, id), report); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
 		}
 	}
 }
@@ -55,6 +72,11 @@ func BenchmarkFig10QCBetaSweep(b *testing.B)     { benchExperiment(b, "fig10") }
 func BenchmarkFig11PatentCaseStudy(b *testing.B) { benchExperiment(b, "fig11") }
 func BenchmarkTblSolveMethods(b *testing.B)      { benchExperiment(b, "tblSolve") }
 func BenchmarkTblBennettProfile(b *testing.B)    { benchExperiment(b, "tblBennett") }
+
+// BenchmarkServingQueries runs the serving-layer experiment: mixed
+// RWR/PPR/PageRank/top-k queries against pinned factors across pool
+// sizes (see internal/bench.Serving).
+func BenchmarkServingQueries(b *testing.B) { benchExperiment(b, "serving") }
 
 // BenchmarkParallelWorkers runs each LUDEM algorithm end-to-end across
 // engine pool sizes (compare sub-benchmark ns/op to see the scaling;

@@ -5,6 +5,7 @@
 //
 //	cludebench -exp fig7 -scale medium
 //	cludebench -exp all  -scale small
+//	cludebench -exp serving -json results.json
 //	cludebench -list
 //
 // Every experiment prints one or more aligned text tables carrying the
@@ -23,10 +24,11 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		scale   = flag.String("scale", "small", "dataset scale: small | medium | paper")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		workers = flag.Int("workers", 1, "engine worker pool per run: 1 = paper-faithful sequential, 0 = GOMAXPROCS")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale    = flag.String("scale", "small", "dataset scale: small | medium | paper")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		workers  = flag.Int("workers", 1, "engine worker pool per run: 1 = paper-faithful sequential, 0 = GOMAXPROCS")
+		jsonPath = flag.String("json", "", "also write every result to this JSON file (machine-readable; the CI artifact format)")
 	)
 	flag.Parse()
 
@@ -54,6 +56,7 @@ func main() {
 		todo = []bench.Experiment{e}
 	}
 
+	report := bench.NewReport()
 	for _, e := range todo {
 		fmt.Printf("\n### %s — %s (scale=%s)\n", e.ID, e.Paper, *scale)
 		t0 := time.Now()
@@ -61,10 +64,18 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
+		elapsed := time.Since(t0)
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
-		fmt.Printf("\n[%s completed in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("\n[%s completed in %v]\n", e.ID, elapsed.Round(time.Millisecond))
+		report.Add(e, bench.Scale(*scale), d.Workers, elapsed, tables)
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteJSON(*jsonPath, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n[wrote %d results to %s]\n", len(report.Runs), *jsonPath)
 	}
 }
 

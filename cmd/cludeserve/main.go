@@ -1,0 +1,207 @@
+// Command cludeserve factors an evolving matrix sequence with CLUDE,
+// pins every snapshot's LU factors, and serves proximity-measure
+// queries over HTTP/JSON — the paper's motivating deployment: cheap
+// per-query substitutions on maintained factors.
+//
+// Usage:
+//
+//	cludeserve -addr :8080 -scale small -alpha 0.95
+//
+// Endpoints:
+//
+//	GET /query?measure=rwr&source=5[&snapshot=3]     RWR vector from node 5
+//	GET /query?measure=ppr&sources=1,2,3             PPR over a seed set
+//	GET /query?measure=pagerank                      global PageRank
+//	GET /query?measure=topk&source=5&k=10            top-10 nodes by RWR
+//	POST /query  {"measure":"rwr","source":5}        same, JSON body
+//	GET /snapshots                                   retained snapshot ids
+//	GET /stats                                       serving counters
+//
+// snapshot defaults to -1 (the latest pinned snapshot).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		scale     = flag.String("scale", "small", "dataset scale: tiny | small | medium | paper")
+		alpha     = flag.Float64("alpha", 0.95, "CLUDE clustering threshold")
+		workers   = flag.Int("workers", 0, "query pool size (0 = GOMAXPROCS)")
+		factorW   = flag.Int("factor-workers", 0, "factorization pool size (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache", 4096, "LRU result-cache entries")
+		maxSnaps  = flag.Int("snapshots", 0, "snapshot store bound (0 = retain the whole sequence)")
+	)
+	flag.Parse()
+
+	d, err := bench.DatasetsFor(bench.Scale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	egs, err := gen.WikiSim(d.Wiki)
+	if err != nil {
+		fatal(err)
+	}
+	ems := graph.DeriveEMS(egs, graph.RWRMatrix(d.Damping))
+	bound := *maxSnaps
+	if bound <= 0 {
+		bound = ems.Len()
+	}
+	eng := serve.New(serve.Config{
+		MaxSnapshots: bound,
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		Damping:      d.Damping,
+	})
+	defer eng.Close()
+
+	log.Printf("factoring %d snapshots (n=%d) with CLUDE alpha=%v ...", ems.Len(), ems.N(), *alpha)
+	t0 := time.Now()
+	if _, err := core.Run(ems, core.CLUDE, core.Options{
+		Alpha:         *alpha,
+		Workers:       *factorW,
+		RetainFactors: true,
+		OnFactors:     eng.OnFactors(),
+	}); err != nil {
+		fatal(err)
+	}
+	log.Printf("pinned %d snapshots in %v; serving on %s", len(eng.Snapshots()), time.Since(t0).Round(time.Millisecond), *addr)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q, err := parseQuery(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := eng.Query(r.Context(), q)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/snapshots", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]interface{}{
+			"retained": eng.Snapshots(),
+			"latest":   eng.Latest(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := eng.Stats()
+		writeJSON(w, map[string]interface{}{
+			"stats":    st,
+			"hit_rate": st.HitRate(),
+		})
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("shut down; final stats: %+v", eng.Stats())
+}
+
+// parseQuery accepts either URL parameters (GET) or a JSON body (POST)
+// shaped like serve.Query.
+func parseQuery(r *http.Request) (serve.Query, error) {
+	q := serve.Query{Snapshot: -1}
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			return q, fmt.Errorf("bad JSON body: %w", err)
+		}
+		return q, nil
+	}
+	v := r.URL.Query()
+	q.Measure = v.Get("measure")
+	var err error
+	if s := v.Get("snapshot"); s != "" {
+		if q.Snapshot, err = strconv.Atoi(s); err != nil {
+			return q, fmt.Errorf("bad snapshot %q", s)
+		}
+	}
+	if s := v.Get("source"); s != "" {
+		if q.Source, err = strconv.Atoi(s); err != nil {
+			return q, fmt.Errorf("bad source %q", s)
+		}
+	}
+	if s := v.Get("k"); s != "" {
+		if q.K, err = strconv.Atoi(s); err != nil {
+			return q, fmt.Errorf("bad k %q", s)
+		}
+	}
+	if s := v.Get("sources"); s != "" {
+		for _, part := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return q, fmt.Errorf("bad sources entry %q", part)
+			}
+			q.Sources = append(q.Sources, n)
+		}
+	}
+	if s := v.Get("damping"); s != "" {
+		if q.Damping, err = strconv.ParseFloat(s, 64); err != nil {
+			return q, fmt.Errorf("bad damping %q", s)
+		}
+	}
+	return q, nil
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrUnknownSnapshot), errors.Is(err, serve.ErrNoSnapshots):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// fatal matches cludebench's exit convention.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cludeserve:", err)
+	os.Exit(1)
+}

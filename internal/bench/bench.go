@@ -91,11 +91,12 @@ func DatasetsFor(s Scale) (Datasets, error) {
 }
 
 // Table is a printable result: the rows a figure plots or a table
-// lists.
+// lists. The JSON tags define the schema of the BENCH_*.json CI
+// artifacts (see json.go).
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // Fprint renders the table with aligned columns.

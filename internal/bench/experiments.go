@@ -38,6 +38,7 @@ func Registry() []Experiment {
 		{"tblBennett", "Section 4 claim: list restructuring share of Bennett time", TblBennett},
 		{"ablation", "DESIGN.md §6: ordering quality and USSP slack ablations", Ablation},
 		{"parallel", "Engine: wall-clock scaling vs worker-pool size (beyond the paper)", Parallel},
+		{"serving", "Serving layer: query throughput/latency vs pool size, cache hit rate", Serving},
 	}
 }
 

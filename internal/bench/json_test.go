@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestWriteJSONRoundTrip persists a report and reads it back.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := ArtifactPath(filepath.Join(dir, "nested"), "fig7")
+	if filepath.Base(path) != "BENCH_fig7.json" {
+		t.Fatalf("artifact name %q", filepath.Base(path))
+	}
+
+	r := NewReport()
+	e, err := Find("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(e, Tiny, 1, 1500*time.Microsecond, []*Table{{
+		Title:  "t",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+	}})
+	if err := WriteJSON(path, r); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 1 || back.Runs[0].Experiment != "fig7" || back.Runs[0].Scale != "tiny" {
+		t.Fatalf("round trip lost run metadata: %+v", back.Runs)
+	}
+	if back.Runs[0].ElapsedMS != 1.5 {
+		t.Fatalf("elapsed %v, want 1.5", back.Runs[0].ElapsedMS)
+	}
+	if len(back.Runs[0].Tables) != 1 || back.Runs[0].Tables[0].Rows[0][1] != "2" {
+		t.Fatalf("round trip lost table data: %+v", back.Runs[0].Tables)
+	}
+	if back.GoVersion == "" || back.CreatedAt == "" {
+		t.Fatal("environment stamp missing")
+	}
+}

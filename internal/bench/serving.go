@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lu"
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+// servingQuery derives one deterministic pseudo-random mixed query
+// (rwr / ppr / pagerank / topk) over T snapshots and n nodes. The
+// source and seed pools are kept small so the stream revisits queries
+// and the cache-hit column measures something.
+func servingQuery(rng *xrand.Rand, T, n int) serve.Query {
+	q := serve.Query{Snapshot: rng.Intn(T)}
+	pool := minInt(64, n)
+	switch rng.Intn(4) {
+	case 0:
+		q.Measure = serve.MeasureRWR
+		q.Source = rng.Intn(pool)
+	case 1:
+		q.Measure = serve.MeasurePPR
+		q.Sources = []int{rng.Intn(16), 16 + rng.Intn(16)}
+	case 2:
+		q.Measure = serve.MeasurePageRank
+	case 3:
+		q.Measure = serve.MeasureTopK
+		q.Source = rng.Intn(pool)
+		q.K = 1 + rng.Intn(10)
+	}
+	return q
+}
+
+// Serving measures the query-serving layer end to end: factor the Wiki
+// EMS once with CLUDE (RetainFactors), pin every snapshot, then replay
+// the same deterministic stream of mixed measure queries against
+// serving engines of increasing pool size, reporting throughput,
+// latency, and cache behavior. The paper stops at factorization; this
+// experiment covers the traffic those factors exist to serve.
+func Serving(d Datasets) ([]*Table, error) {
+	_, ems, err := wikiEMS(d)
+	if err != nil {
+		return nil, err
+	}
+	solvers := make([]*lu.Solver, ems.Len())
+	if _, err := core.Run(ems, core.CLUDE, core.Options{
+		Workers:       d.Workers,
+		Alpha:         0.95,
+		RetainFactors: true,
+		OnFactors:     func(i int, s *lu.Solver) { solvers[i] = s },
+	}); err != nil {
+		return nil, err
+	}
+
+	const totalQ = 1200
+	rng := xrand.New(42)
+	queries := make([]serve.Query, totalQ)
+	for i := range queries {
+		queries[i] = servingQuery(rng, ems.Len(), ems.N())
+	}
+
+	tbl := &Table{
+		Title: fmt.Sprintf("Query serving vs pool size (Wiki, T=%d, n=%d, %d mixed queries, GOMAXPROCS=%d)",
+			ems.Len(), ems.N(), totalQ, runtime.GOMAXPROCS(0)),
+		Header: []string{"workers", "wall", "qps", "mean lat", "p95 lat", "hit rate", "cold solves"},
+	}
+	for _, w := range workerSweep() {
+		eng := serve.New(serve.Config{
+			Workers:      w,
+			Damping:      d.Damping,
+			CacheSize:    512,
+			MaxSnapshots: ems.Len(),
+		})
+		// Engines only read pinned solvers, so the sweep can share them.
+		for i, s := range solvers {
+			eng.Pin(i, s)
+		}
+
+		clients := 2 * w
+		lat := make([]time.Duration, totalQ)
+		errc := make(chan error, clients)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				ctx := context.Background()
+				for i := c; i < totalQ; i += clients {
+					qt := time.Now()
+					if _, err := eng.Query(ctx, queries[i]); err != nil {
+						errc <- fmt.Errorf("bench: serving query %d: %w", i, err)
+						return
+					}
+					lat[i] = time.Since(qt)
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		st := eng.Stats()
+		eng.Close()
+		select {
+		case err := <-errc:
+			return nil, err
+		default:
+		}
+
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, l := range lat {
+			sum += l
+		}
+		mean := sum / totalQ
+		p95 := lat[totalQ*95/100]
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(w),
+			dur(wall),
+			f(float64(totalQ) / wall.Seconds()),
+			durUS(mean),
+			durUS(p95),
+			f(st.HitRate()),
+			fmt.Sprint(st.ColdSolves),
+		})
+	}
+	return []*Table{tbl}, nil
+}
+
+// durUS formats a duration in microseconds for the latency columns
+// (per-query substitutions are far below the millisecond grid of dur).
+func durUS(d time.Duration) string {
+	return fmt.Sprintf("%.1fus", float64(d.Nanoseconds())/1000)
+}

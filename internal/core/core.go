@@ -42,9 +42,17 @@ type Options struct {
 	// solver whose factors are current for that matrix, strictly in
 	// snapshot order i = 0..T-1 regardless of Workers. The solver is
 	// only valid during the callback (factors are updated in place for
-	// the next matrix afterwards). Callbacks never run concurrently
-	// with each other.
+	// the next matrix afterwards) unless RetainFactors is set.
+	// Callbacks never run concurrently with each other.
 	OnFactors func(i int, s *lu.Solver)
+	// RetainFactors changes the OnFactors contract: each callback
+	// receives a deep clone of the solver, valid indefinitely — the
+	// engine's in-place update path never touches it. This is the
+	// pin-per-snapshot mode the serving layer builds on (clone cost is
+	// O(structure size) per snapshot, paid inside the emitting worker,
+	// so clones of independent clusters proceed in parallel). Ignored
+	// when OnFactors is nil.
+	RetainFactors bool
 	// MeasureQuality computes |s̃p(A_i^{O_i})| for every matrix after
 	// the run (outside the timed section) so quality-loss can be
 	// reported. BF always records it (its orderings come with sizes for

@@ -442,6 +442,11 @@ func (e *engine) emit(w *worker, i int, s *lu.Solver) error {
 	if e.opt.OnFactors == nil {
 		return e.ctx.Err()
 	}
+	if e.opt.RetainFactors {
+		// The callback keeps this clone for good; cloning here (in the
+		// worker, not the emitter) overlaps clone work across clusters.
+		s = s.Clone()
+	}
 	if e.reqs == nil {
 		e.opt.OnFactors(i, s)
 		return e.ctx.Err()

@@ -79,6 +79,22 @@ func NewDynamicFactors(f *StaticFactors) *DynamicFactors {
 // Dim returns the matrix dimension.
 func (d *DynamicFactors) Dim() int { return d.n }
 
+// Clone returns a deep copy of the container, including the profiling
+// counters at their current values.
+func (d *DynamicFactors) Clone() Factors {
+	return &DynamicFactors{
+		n:         d.n,
+		Nodes:     append([]ListNode(nil), d.Nodes...),
+		LHead:     append([]int(nil), d.LHead...),
+		UHead:     append([]int(nil), d.UHead...),
+		D:         append([]float64(nil), d.D...),
+		lnnz:      d.lnnz,
+		unnz:      d.unnz,
+		Inserts:   d.Inserts,
+		ScanSteps: d.ScanSteps,
+	}
+}
+
 // Size returns the current structural size |sp(L)| + |sp(U)| + n. It
 // grows as incremental updates insert fill.
 func (d *DynamicFactors) Size() int { return d.lnnz + d.unnz + d.n }

@@ -3,12 +3,17 @@ package lu
 import "repro/internal/sparse"
 
 // Factors is the common interface of the two factor containers: enough
-// to solve systems and to measure structural size.
+// to solve systems, to measure structural size, and to snapshot the
+// numeric state for retention beyond the engine's in-place updates.
 type Factors interface {
 	Dim() int
 	Size() int
 	SolveInPlace(b []float64)
 	Reconstruct() *sparse.CSR
+	// Clone returns a deep copy sharing no mutable state with the
+	// receiver; the copy stays valid while the original keeps being
+	// updated in place.
+	Clone() Factors
 }
 
 // Compile-time interface checks.
@@ -33,6 +38,58 @@ func (s *Solver) Solve(b []float64) []float64 {
 	bp := s.O.Row.Apply(b) // b' = P·b
 	s.F.SolveInPlace(bp)   // x' = (A^O)⁻¹ b'
 	return s.O.Col.Scatter(bp)
+}
+
+// Clone deep-copies the factors so the returned solver stays valid
+// after the original's factors are updated in place. The ordering is
+// shared: it is immutable once constructed.
+func (s *Solver) Clone() *Solver {
+	return &Solver{F: s.F.Clone(), O: s.O}
+}
+
+// SolveWorkspace holds the permuted intermediate vector of a solve so
+// query-serving workers answering many right-hand sides allocate only
+// the result, not the scratch. The zero value is ready to use; a
+// workspace must not be shared between concurrent solves.
+type SolveWorkspace struct {
+	w []float64
+}
+
+// vector returns the scratch vector, (re)allocating when the dimension
+// changes. SolveWith overwrites every position before reading it.
+func (ws *SolveWorkspace) vector(n int) []float64 {
+	if len(ws.w) != n {
+		ws.w = make([]float64, n)
+	}
+	return ws.w
+}
+
+// SolveWith is Solve with caller-owned scratch: it permutes b into the
+// workspace, solves in place, and scatters into a fresh result. The
+// returned vector is bit-identical to Solve's for the same b.
+func (s *Solver) SolveWith(b []float64, ws *SolveWorkspace) []float64 {
+	n := len(s.O.Row)
+	w := ws.vector(n)
+	for i, v := range s.O.Row {
+		w[i] = b[v] // b' = P·b
+	}
+	s.F.SolveInPlace(w)
+	out := make([]float64, n)
+	for i, v := range s.O.Col {
+		out[v] = w[i] // x = Q·x'
+	}
+	return out
+}
+
+// SolveBatch solves A·X = B for many right-hand sides through one
+// workspace — the batched multi-source path of the serving layer (one
+// b per measure query, factors reused across all of them).
+func (s *Solver) SolveBatch(bs [][]float64, ws *SolveWorkspace) [][]float64 {
+	out := make([][]float64, len(bs))
+	for i, b := range bs {
+		out[i] = s.SolveWith(b, ws)
+	}
+	return out
 }
 
 // FactorizeOrdered is the one-call convenience used throughout the

@@ -138,6 +138,30 @@ func NewStaticFactors(s *SymbolicLU) *StaticFactors {
 // Dim returns the matrix dimension n.
 func (f *StaticFactors) Dim() int { return f.n }
 
+// Clone returns a deep copy of the container. The index structure is
+// frozen anyway, but copying it too keeps the clone fully independent
+// of the receiver's lifetime.
+func (f *StaticFactors) Clone() Factors {
+	c := &StaticFactors{
+		n:       f.n,
+		LColPtr: append([]int(nil), f.LColPtr...),
+		LRowIdx: append([]int(nil), f.LRowIdx...),
+		LVal:    append([]float64(nil), f.LVal...),
+		URowPtr: append([]int(nil), f.URowPtr...),
+		UColIdx: append([]int(nil), f.UColIdx...),
+		UVal:    append([]float64(nil), f.UVal...),
+		D:       append([]float64(nil), f.D...),
+
+		LRowPtr:  append([]int(nil), f.LRowPtr...),
+		LRowCols: append([]int(nil), f.LRowCols...),
+		LRowPos:  append([]int(nil), f.LRowPos...),
+		UColPtr:  append([]int(nil), f.UColPtr...),
+		UColRows: append([]int(nil), f.UColRows...),
+		UColPos:  append([]int(nil), f.UColPos...),
+	}
+	return c
+}
+
 // Size returns the structural size |sp(L)| + |sp(U)| + n, i.e. the
 // paper's |s̃p| for the pattern the container was built from.
 func (f *StaticFactors) Size() int { return len(f.LVal) + len(f.UVal) + f.n }

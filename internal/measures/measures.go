@@ -15,6 +15,8 @@ package measures
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/lu"
@@ -53,26 +55,59 @@ func NewEngineFromSolver(g *graph.Graph, d float64, s *lu.Solver) *Engine {
 	return &Engine{G: g, D: d, Solver: s}
 }
 
+// NewSolverEngine wraps retained factors with no snapshot graph
+// attached. The solver-backed measures (RWR, PPR, PageRank) need only
+// the system dimension, so a serving layer that pins solvers — not
+// graphs — per snapshot can still answer them. Graph-dependent
+// measures (DHT, SALSA, …) are package functions taking the graph
+// explicitly and are unaffected.
+func NewSolverEngine(d float64, s *lu.Solver) *Engine {
+	return &Engine{D: d, Solver: s}
+}
+
+// dim returns the system dimension, from the graph when one is
+// attached and from the factors otherwise.
+func (e *Engine) dim() int {
+	if e.G != nil {
+		return e.G.N()
+	}
+	return e.Solver.F.Dim()
+}
+
 // RWR returns the stationary distribution of a random walk with
 // restart from node u (paper Eq. 1): solves A·x = (1−d)·e_u.
 func (e *Engine) RWR(u int) []float64 {
-	b := sparse.Basis(e.G.N(), u, 1-e.D)
-	return e.Solver.Solve(b)
+	return e.RWRWith(u, nil)
+}
+
+// RWRWith is RWR with caller-owned solve scratch (nil ws allocates).
+// Query-serving workers keep one workspace each and pass it here so
+// the per-query cost is one result allocation plus the substitution.
+func (e *Engine) RWRWith(u int, ws *lu.SolveWorkspace) []float64 {
+	b := sparse.Basis(e.dim(), u, 1-e.D)
+	return e.solve(b, ws)
 }
 
 // PPR returns the Personalized PageRank for a seed set with uniform
 // seed mass: solves A·x = (1−d)·q where q is uniform over seeds.
 func (e *Engine) PPR(seeds []int) []float64 {
-	n := e.G.N()
+	return e.PPRWith(seeds, nil)
+}
+
+// PPRWith is PPR with caller-owned solve scratch (nil ws allocates).
+func (e *Engine) PPRWith(seeds []int, ws *lu.SolveWorkspace) []float64 {
+	n := e.dim()
 	b := make([]float64, n)
 	if len(seeds) == 0 {
 		return b
 	}
 	w := (1 - e.D) / float64(len(seeds))
 	for _, s := range seeds {
-		b[s] = w
+		// Accumulate so a repeated seed weighs proportionally instead
+		// of silently dropping restart mass.
+		b[s] += w
 	}
-	return e.Solver.Solve(b)
+	return e.solve(b, ws)
 }
 
 // PageRank returns the global PageRank vector: PPR with a uniform
@@ -80,16 +115,45 @@ func (e *Engine) PPR(seeds []int) []float64 {
 // convention of graph.RWRMatrix (the score vector is normalized to sum
 // to 1 before returning, the usual practical fix).
 func (e *Engine) PageRank() []float64 {
-	n := e.G.N()
+	return e.PageRankWith(nil)
+}
+
+// PageRankWith is PageRank with caller-owned solve scratch (nil ws
+// allocates).
+func (e *Engine) PageRankWith(ws *lu.SolveWorkspace) []float64 {
+	n := e.dim()
 	b := make([]float64, n)
 	for i := range b {
 		b[i] = (1 - e.D) / float64(n)
 	}
-	x := e.Solver.Solve(b)
+	x := e.solve(b, ws)
 	if s := sparse.Sum(x); s > 0 {
 		sparse.Scale(x, 1/s)
 	}
 	return x
+}
+
+// MultiRWR answers RWR from every source through one workspace — the
+// batched multi-source path: the factors are reused across all solves
+// and the O(n) scratch is allocated once. Row i of the result is
+// RWR(sources[i]).
+func (e *Engine) MultiRWR(sources []int, ws *lu.SolveWorkspace) [][]float64 {
+	if ws == nil {
+		ws = &lu.SolveWorkspace{}
+	}
+	out := make([][]float64, len(sources))
+	for i, u := range sources {
+		out[i] = e.RWRWith(u, ws)
+	}
+	return out
+}
+
+// solve dispatches to the workspace path when scratch is supplied.
+func (e *Engine) solve(b []float64, ws *lu.SolveWorkspace) []float64 {
+	if ws != nil {
+		return e.Solver.SolveWith(b, ws)
+	}
+	return e.Solver.Solve(b)
 }
 
 // DHT returns the d-discounted hitting time from every node to target
@@ -281,47 +345,53 @@ func abs(x float64) float64 {
 }
 
 // TopK returns the indices of the k largest entries of x in descending
-// order (stable toward lower index on ties).
+// score order; equal scores resolve by ascending node id. The tie rule
+// is part of the contract: serving-layer tests compare cached and
+// fresh responses for equality, which needs a total, input-independent
+// order (the previous selection sort left ties in whatever order its
+// swaps had shuffled the index array into).
 func TopK(x []float64, k int) []int {
-	idx := make([]int, len(x))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Partial selection sort is fine for small k.
+	idx := rankedIndices(x)
 	if k > len(idx) {
 		k = len(idx)
 	}
-	for a := 0; a < k; a++ {
-		best := a
-		for b := a + 1; b < len(idx); b++ {
-			if x[idx[b]] > x[idx[best]] {
-				best = b
-			}
-		}
-		idx[a], idx[best] = idx[best], idx[a]
+	if k < 0 {
+		k = 0
 	}
 	return idx[:k]
 }
 
-// Ranks converts scores into 1-based ranks (highest score → rank 1).
+// Ranks converts scores into 1-based ranks (highest score → rank 1;
+// equal scores rank by ascending node id, matching TopK).
 func Ranks(x []float64) []int {
-	n := len(x)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	for a := 0; a < n; a++ {
-		best := a
-		for b := a + 1; b < n; b++ {
-			if x[idx[b]] > x[idx[best]] {
-				best = b
-			}
-		}
-		idx[a], idx[best] = idx[best], idx[a]
-	}
-	ranks := make([]int, n)
+	idx := rankedIndices(x)
+	ranks := make([]int, len(x))
 	for r, i := range idx {
 		ranks[i] = r + 1
 	}
 	return ranks
+}
+
+// rankedIndices sorts all indices by (score descending, id ascending).
+// NaN scores sort after every real score (and by id among themselves):
+// a bare `>` comparator is not a strict weak order in their presence,
+// and sort.Slice would then place even the non-NaN elements in
+// input-dependent positions.
+func rankedIndices(x []float64) []int {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		xa, xb := x[idx[a]], x[idx[b]]
+		an, bn := math.IsNaN(xa), math.IsNaN(xb)
+		if an != bn {
+			return bn
+		}
+		if !an && xa != xb {
+			return xa > xb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/lu"
 	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
@@ -258,5 +259,104 @@ func TestTopKAndRanks(t *testing.T) {
 	r := Ranks(x)
 	if r[1] != 1 || r[3] != 2 || r[2] != 3 || r[0] != 4 {
 		t.Errorf("Ranks = %v", r)
+	}
+}
+
+// TestTopKTieBreakAscending pins the tie rule: equal scores resolve by
+// ascending node id at every k. The input is chosen so the old
+// selection sort (which compared by score only, over an index array
+// its own swaps had shuffled) emitted the value-3 ties as [2 0].
+func TestTopKTieBreakAscending(t *testing.T) {
+	x := []float64{3, 5, 3, 5}
+	got := TopK(x, 4)
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK(%v, 4) = %v, want %v", x, got, want)
+		}
+	}
+	// Prefixes agree with the full ranking for every k.
+	for k := 0; k <= 4; k++ {
+		p := TopK(x, k)
+		if len(p) != k {
+			t.Fatalf("TopK k=%d returned %d entries", k, len(p))
+		}
+		for i := range p {
+			if p[i] != want[i] {
+				t.Fatalf("TopK k=%d = %v, not a prefix of %v", k, p, want)
+			}
+		}
+	}
+	r := Ranks(x)
+	wantRanks := []int{3, 1, 4, 2}
+	for i := range wantRanks {
+		if r[i] != wantRanks[i] {
+			t.Fatalf("Ranks(%v) = %v, want %v", x, r, wantRanks)
+		}
+	}
+}
+
+// TestSolverEngineWorkspaceVariants checks that the workspace-reusing
+// query paths (the serving layer's hot path) are bit-identical to the
+// allocating ones, including through a graph-free solver engine.
+func TestSolverEngineWorkspaceVariants(t *testing.T) {
+	g := testGraph(t)
+	e, err := NewEngine(g, 0.85, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewSolverEngine(0.85, e.Solver)
+	var ws lu.SolveWorkspace
+	for u := 0; u < g.N(); u++ {
+		a := e.RWR(u)
+		b := se.RWRWith(u, &ws)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("RWRWith(%d) differs at %d: %v vs %v", u, i, a[i], b[i])
+			}
+		}
+	}
+	pa := e.PPR([]int{0, 2})
+	pb := se.PPRWith([]int{0, 2}, &ws)
+	ga := e.PageRank()
+	gb := se.PageRankWith(&ws)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("PPRWith differs at %d", i)
+		}
+		if ga[i] != gb[i] {
+			t.Fatalf("PageRankWith differs at %d", i)
+		}
+	}
+	multi := se.MultiRWR([]int{1, 1, 3}, nil)
+	one := e.RWR(1)
+	three := e.RWR(3)
+	for i := range one {
+		if multi[0][i] != one[i] || multi[1][i] != one[i] || multi[2][i] != three[i] {
+			t.Fatalf("MultiRWR differs at %d", i)
+		}
+	}
+}
+
+// TestTopKNaNSortsLast: NaN scores must sort after every real score
+// (with ids ascending among themselves) — a bare > comparator is not
+// a strict weak order under NaN and would scramble even the real
+// entries input-dependently.
+func TestTopKNaNSortsLast(t *testing.T) {
+	nan := math.NaN()
+	x := []float64{nan, 2, nan, 5, 2}
+	got := TopK(x, 5)
+	want := []int{3, 1, 4, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK with NaN = %v, want %v", got, want)
+		}
+	}
+	r := Ranks(x)
+	wantRanks := []int{4, 2, 5, 1, 3}
+	for i := range wantRanks {
+		if r[i] != wantRanks[i] {
+			t.Fatalf("Ranks with NaN = %v, want %v", r, wantRanks)
+		}
 	}
 }

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// answer is one cached query result. Scores and Nodes are immutable
+// once stored; readers receive copies so a caller mutating its
+// response cannot corrupt the cache.
+type answer struct {
+	scores []float64
+	nodes  []int // top-k ids; nil for full-vector measures
+}
+
+// lruCache is a mutex-guarded LRU over query keys. The serving layer's
+// workers share one cache, so a hot query computed by any worker is a
+// hit for all of them.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	ans answer
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached answer for key, promoting it to most recently
+// used.
+func (c *lruCache) get(key string) (answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return answer{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).ans, true
+}
+
+// put stores the answer for key, evicting the least recently used
+// entry when over capacity. Returns the number of evictions (0 or 1).
+func (c *lruCache) put(key string, ans answer) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent worker already computed this key; the answers
+		// are identical (solves are deterministic), so keep the first.
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, ans: ans})
+	if c.order.Len() <= c.cap {
+		return 0
+	}
+	back := c.order.Back()
+	c.order.Remove(back)
+	delete(c.entries, back.Value.(*cacheEntry).key)
+	return 1
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// purgePrefix drops every entry whose key starts with prefix and
+// returns how many were dropped. Used when a snapshot is evicted from
+// the store so the cache cannot keep answering for a snapshot the
+// store reports as gone. The scan is linear over the cache, which the
+// capacity bounds.
+func (c *lruCache) purgePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key, el := range c.entries {
+		if strings.HasPrefix(key, prefix) {
+			c.order.Remove(el)
+			delete(c.entries, key)
+			dropped++
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,474 @@
+// Package serve is the query-serving layer on top of the LUDEM
+// pipelines: it retains per-snapshot solvers produced by core.Run
+// (via Options.OnFactors with RetainFactors set) in a bounded
+// snapshot store and answers concurrent proximity-measure queries —
+// RWR, PPR, PageRank, top-k — through a worker pool with a shared LRU
+// result cache.
+//
+// This is the paper's motivating deployment (§1): the whole point of
+// maintaining LU factors across an evolving matrix sequence is that
+// every measure query at any snapshot is then a forward/backward
+// substitution, cheap enough to serve traffic. The split is the usual
+// one between maintenance and serving: core keeps the factors current
+// while this package turns them into answers.
+//
+//	core.Run ──OnFactors──▶ snapshot store ──▶ worker pool ──▶ LRU cache
+//	                          (pinned clones)   (one solve      (answers,
+//	                                             scratch each)   copied out)
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lu"
+	"repro/internal/measures"
+)
+
+// The measure names a Query may carry.
+const (
+	MeasureRWR      = "rwr"      // random walk with restart from Source
+	MeasurePPR      = "ppr"      // personalized PageRank over Sources
+	MeasurePageRank = "pagerank" // global PageRank
+	MeasureTopK     = "topk"     // top-K nodes of the RWR from Source
+)
+
+// Errors a Query can fail with. Validation problems (bad measure,
+// out-of-range source, …) come back as distinct descriptive errors.
+var (
+	ErrClosed          = errors.New("serve: engine closed")
+	ErrUnknownSnapshot = errors.New("serve: snapshot not retained")
+	ErrNoSnapshots     = errors.New("serve: no snapshots pinned yet")
+)
+
+// Config sizes the engine. The zero value picks the defaults.
+type Config struct {
+	// MaxSnapshots bounds the snapshot store: pinning snapshot K+1
+	// evicts the oldest retained snapshot. <= 0 means 64.
+	MaxSnapshots int
+	// Workers is the query pool size. <= 0 means runtime.GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the LRU result cache (entries). <= 0 means 1024.
+	CacheSize int
+	// Damping is the restart parameter baked into the pinned factors
+	// (A = I − d·W). Queries may omit it (0) or must match it: the
+	// factors cannot answer a different damping.
+	Damping float64
+}
+
+// Query is one measure request.
+type Query struct {
+	// Snapshot selects the matrix sequence index; negative means the
+	// latest pinned snapshot.
+	Snapshot int `json:"snapshot"`
+	// Measure is one of the Measure* constants.
+	Measure string `json:"measure"`
+	// Source is the seed node for rwr and topk.
+	Source int `json:"source"`
+	// Sources is the seed set for ppr.
+	Sources []int `json:"sources,omitempty"`
+	// K is the result size for topk.
+	K int `json:"k,omitempty"`
+	// Damping must be 0 (use the engine's) or equal the engine's.
+	Damping float64 `json:"damping,omitempty"`
+}
+
+// Response is a query answer. Scores is the full measure vector for
+// rwr/ppr/pagerank; for topk, Nodes lists the top-K ids (score
+// descending, ties by ascending id) and Scores their scores.
+type Response struct {
+	Snapshot int       `json:"snapshot"`
+	Measure  string    `json:"measure"`
+	Damping  float64   `json:"damping"`
+	Nodes    []int     `json:"nodes,omitempty"`
+	Scores   []float64 `json:"scores"`
+	CacheHit bool      `json:"cache_hit"`
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	Queries          int64 `json:"queries"`
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
+	ColdSolves       int64 `json:"cold_solves"`
+	Rejected         int64 `json:"rejected"` // validation/cancellation failures
+	SnapshotsPinned  int64 `json:"snapshots_pinned"`
+	SnapshotsEvicted int64 `json:"snapshots_evicted"`
+	CacheEvictions   int64 `json:"cache_evictions"`
+	CacheEntries     int   `json:"cache_entries"`
+	Retained         int   `json:"retained_snapshots"`
+	Workers          int   `json:"workers"`
+}
+
+// HitRate returns the cache hit fraction over answered queries.
+func (s Stats) HitRate() float64 {
+	if t := s.CacheHits + s.CacheMisses; t > 0 {
+		return float64(s.CacheHits) / float64(t)
+	}
+	return 0
+}
+
+// Engine serves measure queries from pinned per-snapshot solvers.
+type Engine struct {
+	cfg   Config
+	cache *lruCache
+
+	mu     sync.RWMutex
+	snaps  map[int]snapEntry
+	pinned []int // retention order (pin order), oldest first
+	latest int
+	gen    uint64 // bumped per Pin; stamps cache keys (see snapEntry)
+
+	tasks     chan *task
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	queries, hits, misses, solves   atomic.Int64
+	rejected, pinCount, snapEvicted atomic.Int64
+	cacheEvicted                    atomic.Int64
+}
+
+// snapEntry is one retained snapshot: the pinned solver plus the pin
+// generation its cache keys are stamped with. Re-pinning a snapshot
+// index bumps the generation, so answers computed from the old solver
+// — even ones a concurrent worker stores after the re-pin — are keyed
+// under the old generation and can never be served for the new
+// factors; the LRU ages them out.
+type snapEntry struct {
+	s   *lu.Solver
+	gen uint64
+}
+
+// task couples a query with its caller's context and reply channel.
+type task struct {
+	ctx  context.Context
+	q    Query
+	done chan taskResult // buffered 1: workers never block on a gone caller
+}
+
+type taskResult struct {
+	resp *Response
+	err  error
+}
+
+// New starts an engine and its worker pool. Callers must Close it.
+func New(cfg Config) *Engine {
+	if cfg.MaxSnapshots <= 0 {
+		cfg.MaxSnapshots = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	e := &Engine{
+		cfg:    cfg,
+		cache:  newLRUCache(cfg.CacheSize),
+		snaps:  make(map[int]snapEntry),
+		latest: -1,
+		tasks:  make(chan *task, 4*cfg.Workers),
+		closed: make(chan struct{}),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the worker pool; calling it again is a no-op. Queries
+// in flight after Close may return ErrClosed; pinned snapshots stay
+// readable until the engine is garbage collected.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.closed) })
+	e.wg.Wait()
+}
+
+// Pin retains the solver for snapshot i, taking ownership (callers
+// must hand over a solver whose factors are not updated afterwards —
+// core.Options.RetainFactors provides exactly that). When the store
+// is over its bound, the oldest pinned snapshot is evicted together
+// with its cached answers, so a snapshot is either fully served or
+// consistently ErrUnknownSnapshot — never a mix depending on which
+// query happened to be cached.
+func (e *Engine) Pin(i int, s *lu.Solver) {
+	var evicted []int
+	e.mu.Lock()
+	e.gen++
+	if _, ok := e.snaps[i]; !ok {
+		e.pinned = append(e.pinned, i)
+	}
+	e.snaps[i] = snapEntry{s: s, gen: e.gen}
+	if i > e.latest {
+		e.latest = i
+	}
+	for len(e.pinned) > e.cfg.MaxSnapshots {
+		old := e.pinned[0]
+		e.pinned = e.pinned[1:]
+		delete(e.snaps, old)
+		evicted = append(evicted, old)
+		e.snapEvicted.Add(1)
+	}
+	if _, ok := e.snaps[e.latest]; !ok {
+		// Eviction removed the latest (out-of-order pins can do that);
+		// re-resolve it from what is still retained so Snapshot: -1
+		// keeps answering.
+		e.latest = -1
+		for _, idx := range e.pinned {
+			if idx > e.latest {
+				e.latest = idx
+			}
+		}
+	}
+	e.mu.Unlock()
+	e.pinCount.Add(1)
+	for _, old := range evicted {
+		// All generations of the evicted index: memory hygiene — the
+		// store lookup already 404s it — and it keeps CacheEntries an
+		// honest gauge of answers that can still be served.
+		e.cache.purgePrefix(strconv.Itoa(old) + "#")
+	}
+}
+
+// OnFactors adapts Pin to the core.Options.OnFactors signature. Use it
+// with RetainFactors:
+//
+//	core.Run(ems, core.CLUDE, core.Options{
+//		Alpha: 0.95, RetainFactors: true, OnFactors: eng.OnFactors(),
+//	})
+func (e *Engine) OnFactors() func(i int, s *lu.Solver) {
+	return func(i int, s *lu.Solver) { e.Pin(i, s) }
+}
+
+// Snapshots returns the retained snapshot indices in ascending order.
+func (e *Engine) Snapshots() []int {
+	e.mu.RLock()
+	out := append([]int(nil), e.pinned...)
+	e.mu.RUnlock()
+	sort.Ints(out)
+	return out
+}
+
+// Latest returns the highest pinned snapshot index (-1 when empty).
+func (e *Engine) Latest() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.latest
+}
+
+// Stats returns a consistent-enough snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	retained := len(e.pinned)
+	e.mu.RUnlock()
+	return Stats{
+		Queries:          e.queries.Load(),
+		CacheHits:        e.hits.Load(),
+		CacheMisses:      e.misses.Load(),
+		ColdSolves:       e.solves.Load(),
+		Rejected:         e.rejected.Load(),
+		SnapshotsPinned:  e.pinCount.Load(),
+		SnapshotsEvicted: e.snapEvicted.Load(),
+		CacheEvictions:   e.cacheEvicted.Load(),
+		CacheEntries:     e.cache.len(),
+		Retained:         retained,
+		Workers:          e.cfg.Workers,
+	}
+}
+
+// Query answers q, blocking until a worker replies, the context is
+// cancelled, or the engine closes.
+func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
+	e.queries.Add(1)
+	t := &task{ctx: ctx, q: q, done: make(chan taskResult, 1)}
+	select {
+	case e.tasks <- t:
+	case <-ctx.Done():
+		e.rejected.Add(1)
+		return nil, ctx.Err()
+	case <-e.closed:
+		e.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	select {
+	case r := <-t.done:
+		if r.err != nil {
+			e.rejected.Add(1)
+		}
+		return r.resp, r.err
+	case <-ctx.Done():
+		e.rejected.Add(1)
+		return nil, ctx.Err()
+	case <-e.closed:
+		e.rejected.Add(1)
+		return nil, ErrClosed
+	}
+}
+
+// worker owns one solve workspace and drains the task queue.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	var ws lu.SolveWorkspace
+	for {
+		select {
+		case t := <-e.tasks:
+			if err := t.ctx.Err(); err != nil {
+				t.done <- taskResult{err: err}
+				continue
+			}
+			resp, err := e.answer(t.q, &ws)
+			t.done <- taskResult{resp: resp, err: err}
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+// answer resolves, validates, and serves one query on the calling
+// worker's workspace.
+func (e *Engine) answer(q Query, ws *lu.SolveWorkspace) (*Response, error) {
+	damping := q.Damping
+	if damping == 0 {
+		damping = e.cfg.Damping
+	}
+	if damping != e.cfg.Damping {
+		return nil, fmt.Errorf("serve: damping %v not served (factors built for %v)", damping, e.cfg.Damping)
+	}
+
+	e.mu.RLock()
+	snap := q.Snapshot
+	if snap < 0 {
+		snap = e.latest
+	}
+	entry, ok := e.snaps[snap]
+	e.mu.RUnlock()
+	if snap < 0 {
+		return nil, ErrNoSnapshots
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownSnapshot, snap)
+	}
+	solver := entry.s
+	n := solver.F.Dim()
+
+	var seeds []int // canonical ppr seed set (sorted, deduplicated copy)
+	switch q.Measure {
+	case MeasureRWR, MeasureTopK:
+		if q.Source < 0 || q.Source >= n {
+			return nil, fmt.Errorf("serve: source %d outside [0,%d)", q.Source, n)
+		}
+		if q.Measure == MeasureTopK && q.K <= 0 {
+			return nil, fmt.Errorf("serve: topk needs k > 0, got %d", q.K)
+		}
+	case MeasurePPR:
+		if len(q.Sources) == 0 {
+			return nil, fmt.Errorf("serve: ppr needs a non-empty seed set")
+		}
+		seeds = append([]int(nil), q.Sources...)
+		sort.Ints(seeds)
+		// Deduplicate: PPR's restart mass is uniform over the seed
+		// *set*; a repeated seed must not change the answer (or the
+		// cache key).
+		w := 0
+		for _, s := range seeds {
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("serve: seed %d outside [0,%d)", s, n)
+			}
+			if w == 0 || seeds[w-1] != s {
+				seeds[w] = s
+				w++
+			}
+		}
+		seeds = seeds[:w]
+	case MeasurePageRank:
+	default:
+		return nil, fmt.Errorf("serve: unknown measure %q", q.Measure)
+	}
+
+	key := cacheKey(snap, entry.gen, q.Measure, q.Source, seeds, q.K, damping)
+	if ans, ok := e.cache.get(key); ok {
+		e.hits.Add(1)
+		return respond(snap, q.Measure, damping, ans, true), nil
+	}
+	e.misses.Add(1)
+
+	me := measures.NewSolverEngine(damping, solver)
+	var ans answer
+	switch q.Measure {
+	case MeasureRWR:
+		ans.scores = me.RWRWith(q.Source, ws)
+	case MeasurePPR:
+		ans.scores = me.PPRWith(seeds, ws)
+	case MeasurePageRank:
+		ans.scores = me.PageRankWith(ws)
+	case MeasureTopK:
+		full := me.RWRWith(q.Source, ws)
+		ans.nodes = measures.TopK(full, q.K)
+		ans.scores = make([]float64, len(ans.nodes))
+		for i, v := range ans.nodes {
+			ans.scores[i] = full[v]
+		}
+	}
+	e.solves.Add(1)
+	e.cacheEvicted.Add(int64(e.cache.put(key, ans)))
+	return respond(snap, q.Measure, damping, ans, false), nil
+}
+
+// respond builds a Response around copies of the (possibly cached, and
+// therefore shared) answer slices.
+func respond(snap int, measure string, damping float64, ans answer, hit bool) *Response {
+	r := &Response{
+		Snapshot: snap,
+		Measure:  measure,
+		Damping:  damping,
+		Scores:   append([]float64(nil), ans.scores...),
+		CacheHit: hit,
+	}
+	if ans.nodes != nil {
+		r.Nodes = append([]int(nil), ans.nodes...)
+	}
+	return r
+}
+
+// cacheKey canonicalizes a query into the (snapshot, measure, source,
+// damping) key of the result cache, stamped with the snapshot's pin
+// generation so a re-pinned snapshot can never serve answers computed
+// from its previous factors. Damping is rendered in hex float so
+// distinct values can never collide; ppr seeds arrive sorted and
+// deduplicated, so equivalent seed sets share an entry.
+func cacheKey(snap int, gen uint64, measure string, source int, seeds []int, k int, damping float64) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(snap))
+	b.WriteByte('#')
+	b.WriteString(strconv.FormatUint(gen, 10))
+	b.WriteByte('|')
+	b.WriteString(measure)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(damping, 'x', -1, 64))
+	b.WriteByte('|')
+	switch measure {
+	case MeasureRWR:
+		b.WriteString(strconv.Itoa(source))
+	case MeasureTopK:
+		b.WriteString(strconv.Itoa(source))
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(k))
+	case MeasurePPR:
+		for i, s := range seeds {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(s))
+		}
+	}
+	return b.String()
+}
