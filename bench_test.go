@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"os"
 	"testing"
-	"time"
 
 	"repro/internal/bench"
 	"repro/internal/bennett"
@@ -43,19 +42,25 @@ func benchExperiment(b *testing.B, id string) {
 	jsonDir := os.Getenv("BENCH_JSON_DIR")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t0 := time.Now()
-		tables, err := e.Run(d)
-		if err != nil {
-			b.Fatal(err)
-		}
 		if i == 0 && jsonDir != "" {
+			// The artifact iteration also records the run's allocation
+			// deltas, so every BENCH_*.json carries allocs/op and
+			// bytes/op next to the wall time.
+			tables, elapsed, allocs, bytes, err := bench.RunMeasured(e, d)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.StopTimer()
 			report := bench.NewReport()
-			report.Add(e, bench.Tiny, d.Workers, time.Since(t0), tables)
+			report.Add(e, bench.Tiny, d.Workers, elapsed, allocs, bytes, tables)
 			if err := bench.WriteJSON(bench.ArtifactPath(jsonDir, id), report); err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()
+			continue
+		}
+		if _, err := e.Run(d); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -77,6 +82,11 @@ func BenchmarkTblBennettProfile(b *testing.B)    { benchExperiment(b, "tblBennet
 // RWR/PPR/PageRank/top-k queries against pinned factors across pool
 // sizes (see internal/bench.Serving).
 func BenchmarkServingQueries(b *testing.B) { benchExperiment(b, "serving") }
+
+// BenchmarkSparseSolveQueries runs the reach-based sparse vs dense
+// solve experiment across community counts (see
+// internal/bench.SparseSolve).
+func BenchmarkSparseSolveQueries(b *testing.B) { benchExperiment(b, "sparsesolve") }
 
 // BenchmarkParallelWorkers runs each LUDEM algorithm end-to-end across
 // engine pool sizes (compare sub-benchmark ns/op to see the scaling;
@@ -156,6 +166,29 @@ func BenchmarkKernelSolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.Solve(rhs)
+	}
+}
+
+// BenchmarkKernelSolveSparse is BenchmarkKernelSolve through the
+// reach-based sparse path: a single-seed right-hand side touching only
+// its dependency closure instead of all n rows. Compare ns/op and
+// allocs/op against BenchmarkKernelSolve for the per-query win.
+func BenchmarkKernelSolveSparse(b *testing.B) {
+	_, ems := benchEMS(b)
+	ord := order.Markowitz(ems.Matrices[0].Pattern())
+	s, err := lu.FactorizeOrdered(ems.Matrices[0], ord.Ordering)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ws lu.SparseSolveWorkspace
+	bIdx := []int{3}
+	bVal := []float64{0.15}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := s.SolveSparse(bIdx, bVal, 0, &ws); !ok {
+			b.Fatal("uncapped sparse solve aborted")
+		}
 	}
 }
 

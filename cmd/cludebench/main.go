@@ -59,17 +59,16 @@ func main() {
 	report := bench.NewReport()
 	for _, e := range todo {
 		fmt.Printf("\n### %s — %s (scale=%s)\n", e.ID, e.Paper, *scale)
-		t0 := time.Now()
-		tables, err := e.Run(d)
+		tables, elapsed, allocs, bytes, err := bench.RunMeasured(e, d)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
-		elapsed := time.Since(t0)
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
-		fmt.Printf("\n[%s completed in %v]\n", e.ID, elapsed.Round(time.Millisecond))
-		report.Add(e, bench.Scale(*scale), d.Workers, elapsed, tables)
+		fmt.Printf("\n[%s completed in %v, %d allocs, %s]\n",
+			e.ID, elapsed.Round(time.Millisecond), allocs, fmtBytes(bytes))
+		report.Add(e, bench.Scale(*scale), d.Workers, elapsed, allocs, bytes, tables)
 	}
 	if *jsonPath != "" {
 		if err := bench.WriteJSON(*jsonPath, report); err != nil {
@@ -82,4 +81,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cludebench:", err)
 	os.Exit(1)
+}
+
+// fmtBytes renders an allocation total human-readably.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }

@@ -50,6 +50,7 @@ func main() {
 		factorW   = flag.Int("factor-workers", 0, "factorization pool size (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cache", 4096, "LRU result-cache entries")
 		maxSnaps  = flag.Int("snapshots", 0, "snapshot store bound (0 = retain the whole sequence)")
+		reachFrac = flag.Float64("sparse-frac", 0, "reach-fraction cap of the sparse solve path (0 = default heuristic, >=1 = always sparse, <0 = always dense)")
 	)
 	flag.Parse()
 
@@ -67,10 +68,11 @@ func main() {
 		bound = ems.Len()
 	}
 	eng := serve.New(serve.Config{
-		MaxSnapshots: bound,
-		Workers:      *workers,
-		CacheSize:    *cacheSize,
-		Damping:      d.Damping,
+		MaxSnapshots:    bound,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		Damping:         d.Damping,
+		SparseReachFrac: *reachFrac,
 	})
 	defer eng.Close()
 

@@ -39,6 +39,7 @@ func Registry() []Experiment {
 		{"ablation", "DESIGN.md §6: ordering quality and USSP slack ablations", Ablation},
 		{"parallel", "Engine: wall-clock scaling vs worker-pool size (beyond the paper)", Parallel},
 		{"serving", "Serving layer: query throughput/latency vs pool size, cache hit rate", Serving},
+		{"sparsesolve", "Serving layer: reach-based sparse vs dense solve latency vs cluster count", SparseSolve},
 	}
 }
 

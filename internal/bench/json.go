@@ -13,14 +13,19 @@ import (
 // tables Fprint renders for humans, persisted as JSON so CI can upload
 // them as artifacts and the perf trajectory accumulates per PR.
 
-// RunResult is one experiment's outcome in a Report.
+// RunResult is one experiment's outcome in a Report. AllocsPerOp and
+// BytesPerOp are the heap-allocation deltas of one experiment
+// execution (see RunMeasured), so the per-PR artifacts carry the
+// allocation trajectory next to the timing one.
 type RunResult struct {
-	Experiment string   `json:"experiment"`
-	Paper      string   `json:"paper,omitempty"`
-	Scale      string   `json:"scale"`
-	Workers    int      `json:"workers,omitempty"`
-	ElapsedMS  float64  `json:"elapsed_ms,omitempty"`
-	Tables     []*Table `json:"tables"`
+	Experiment  string   `json:"experiment"`
+	Paper       string   `json:"paper,omitempty"`
+	Scale       string   `json:"scale"`
+	Workers     int      `json:"workers,omitempty"`
+	ElapsedMS   float64  `json:"elapsed_ms,omitempty"`
+	AllocsPerOp uint64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  uint64   `json:"bytes_per_op,omitempty"`
+	Tables      []*Table `json:"tables"`
 }
 
 // Report is the top-level JSON document WriteJSON persists.
@@ -40,16 +45,34 @@ func NewReport() *Report {
 	}
 }
 
-// Add appends one experiment's tables to the report.
-func (r *Report) Add(e Experiment, scale Scale, workers int, elapsed time.Duration, tables []*Table) {
+// Add appends one experiment's tables to the report. allocs and bytes
+// are the run's heap-allocation deltas (0 when not measured).
+func (r *Report) Add(e Experiment, scale Scale, workers int, elapsed time.Duration, allocs, bytes uint64, tables []*Table) {
 	r.Runs = append(r.Runs, RunResult{
-		Experiment: e.ID,
-		Paper:      e.Paper,
-		Scale:      string(scale),
-		Workers:    workers,
-		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
-		Tables:     tables,
+		Experiment:  e.ID,
+		Paper:       e.Paper,
+		Scale:       string(scale),
+		Workers:     workers,
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Tables:      tables,
 	})
+}
+
+// RunMeasured executes one experiment while recording wall time and
+// the goroutine-global heap-allocation deltas (objects and bytes) of
+// the run — the numbers Add persists. A GC pass before the baseline
+// read keeps the byte delta from charging the previous run's garbage.
+func RunMeasured(e Experiment, d Datasets) (tables []*Table, elapsed time.Duration, allocs, bytes uint64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	tables, err = e.Run(d)
+	elapsed = time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return tables, elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
 }
 
 // WriteJSON persists the report to path (creating parent directories),

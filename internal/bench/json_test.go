@@ -21,7 +21,7 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.Add(e, Tiny, 1, 1500*time.Microsecond, []*Table{{
+	r.Add(e, Tiny, 1, 1500*time.Microsecond, 42, 4096, []*Table{{
 		Title:  "t",
 		Header: []string{"a", "b"},
 		Rows:   [][]string{{"1", "2"}},
@@ -43,6 +43,9 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 	if back.Runs[0].ElapsedMS != 1.5 {
 		t.Fatalf("elapsed %v, want 1.5", back.Runs[0].ElapsedMS)
+	}
+	if back.Runs[0].AllocsPerOp != 42 || back.Runs[0].BytesPerOp != 4096 {
+		t.Fatalf("allocation record lost: %+v", back.Runs[0])
 	}
 	if len(back.Runs[0].Tables) != 1 || back.Runs[0].Tables[0].Rows[0][1] != "2" {
 		t.Fatalf("round trip lost table data: %+v", back.Runs[0].Tables)

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/measures"
+	"repro/internal/xrand"
+)
+
+// SparseSolve measures the reach-based sparse-RHS solve path against
+// the dense forward/backward substitution for single-seed queries —
+// the serving layer's hot path.
+//
+// Two sweeps on the DBLP-like generator:
+//
+//  1. Community count with fully partitioned communities (no
+//     cross-community papers): a seed's dependency closure stays
+//     inside its community, so the reach — and the sparse path's work
+//     — shrinks as 1/C while the dense path still sweeps all of n.
+//     This is the clustered regime the sparse path exists for.
+//  2. Cross-community linkage at a fixed community count: every added
+//     bridge inflates the reach toward n, degrading the sparse path
+//     below the dense one — the data behind the
+//     measures.DefaultReachFraction fallback threshold.
+func SparseSolve(d Datasets) ([]*Table, error) {
+	clusters := &Table{
+		Title: fmt.Sprintf("Single-seed solve: sparse vs dense vs community count (DBLP-like, n=%d, disjoint communities)", d.DBLP.N),
+		Header: []string{"communities", "fill |L+U+D|", "avg reach frac",
+			"dense/query", "sparse/query", "speedup"},
+	}
+	bridges := &Table{
+		Title: fmt.Sprintf("Single-seed solve: sparse vs dense vs cross-community linkage (DBLP-like, n=%d, 8 communities)", d.DBLP.N),
+		Header: []string{"cross frac", "fill |L+U+D|", "avg reach frac",
+			"dense/query", "sparse/query", "speedup"},
+	}
+	verify := &Table{
+		Title:  "Sparse-path checksum (max |sparse − dense| over sampled queries; must be 0)",
+		Header: []string{"config", "max abs diff"},
+	}
+
+	for _, comm := range []int{1, 2, 4, 8, 16} {
+		cfg := d.DBLP
+		cfg.Communities = comm
+		cfg.CrossCommunity = 0
+		row, check, err := sparseVsDense(d, cfg, fmt.Sprint(comm))
+		if err != nil {
+			return nil, err
+		}
+		clusters.Rows = append(clusters.Rows, row)
+		verify.Rows = append(verify.Rows, check)
+	}
+	for _, cross := range []float64{0, 0.01, 0.05, 0.2} {
+		cfg := d.DBLP
+		cfg.Communities = 8
+		cfg.CrossCommunity = cross
+		row, check, err := sparseVsDense(d, cfg, fmt.Sprintf("cross=%g", cross))
+		if err != nil {
+			return nil, err
+		}
+		bridges.Rows = append(bridges.Rows, row)
+		verify.Rows = append(verify.Rows, check)
+	}
+	return []*Table{clusters, bridges, verify}, nil
+}
+
+// sparseVsDense times both solve paths over a sampled single-seed
+// query stream on the last snapshot of one generator configuration,
+// returning the result row (led by the caller's sweep label) and the
+// checksum row.
+func sparseVsDense(d Datasets, cfg gen.DBLPConfig, label string) (row, check []string, err error) {
+	egs, err := gen.DBLPSim(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ems := graph.DeriveEMS(egs, graph.SymmetricWalkMatrix(d.Damping))
+	a := ems.Matrices[ems.Len()-1]
+	solver, err := lu.FactorizeOrdered(a, orderOf(a))
+	if err != nil {
+		return nil, nil, err
+	}
+	n := a.N()
+	me := measures.NewSolverEngine(d.Damping, solver)
+
+	rng := xrand.New(77)
+	q := minInt(n, 200)
+	seeds := make([]int, q)
+	for i := range seeds {
+		seeds[i] = rng.Intn(n)
+	}
+	const reps = 5
+
+	// Dense path: one workspace, reusable result buffer.
+	var dws lu.SolveWorkspace
+	dense := make([]float64, n)
+	t0 := time.Now()
+	for r := 0; r < reps; r++ {
+		for _, u := range seeds {
+			dense = me.RWRInto(dense, u, &dws)
+		}
+	}
+	denseT := time.Since(t0) / time.Duration(reps*q)
+
+	// Sparse path, uncapped so the table reports the true reach.
+	var sws lu.SparseSolveWorkspace
+	rows := 0
+	t1 := time.Now()
+	for r := 0; r < reps; r++ {
+		rows = 0
+		for _, u := range seeds {
+			sp, ok := me.RWRSparse(u, 1, &sws)
+			if !ok {
+				return nil, nil, fmt.Errorf("bench: uncapped sparse solve fell back (%s)", label)
+			}
+			rows += len(sp.Idx)
+		}
+	}
+	sparseT := time.Since(t1) / time.Duration(reps*q)
+
+	// Correctness spot check outside the timed loops.
+	maxDiff := 0.0
+	for _, u := range seeds[:minInt(q, 20)] {
+		ref := me.RWRWith(u, &dws)
+		sp, _ := me.RWRSparse(u, 1, &sws)
+		got := sp.Dense(nil)
+		for i := range ref {
+			if diff := abs64(got[i] - ref[i]); diff > maxDiff {
+				maxDiff = diff
+			}
+		}
+	}
+
+	reachFrac := float64(rows) / float64(q*n)
+	row = []string{
+		label,
+		fmt.Sprint(solver.F.Size()),
+		f(reachFrac),
+		durUS(denseT),
+		durUS(sparseT),
+		f(speedup(denseT, sparseT)),
+	}
+	return row, []string{label, f(maxDiff)}, nil
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

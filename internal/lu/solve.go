@@ -1,10 +1,15 @@
 package lu
 
-import "repro/internal/sparse"
+import (
+	"sync"
+
+	"repro/internal/sparse"
+)
 
 // Factors is the common interface of the two factor containers: enough
-// to solve systems, to measure structural size, and to snapshot the
-// numeric state for retention beyond the engine's in-place updates.
+// to solve systems (dense and reach-restricted), to measure structural
+// size, and to snapshot the numeric state for retention beyond the
+// engine's in-place updates.
 type Factors interface {
 	Dim() int
 	Size() int
@@ -14,6 +19,28 @@ type Factors interface {
 	// receiver; the copy stays valid while the original keeps being
 	// updated in place.
 	Clone() Factors
+
+	// LSucc returns the rows fed by column j of L — the successors of j
+	// in the forward-substitution dependency graph (all > j, sorted
+	// ascending). The slice aliases internal storage and must not be
+	// modified.
+	LSucc(j int) []int
+	// USucc returns the rows of column j of U — the successors of j in
+	// the backward-substitution dependency graph (all < j, sorted
+	// ascending). The slice aliases internal storage and must not be
+	// modified.
+	USucc(j int) []int
+	// SolveReachInPlace runs the forward/diagonal/backward substitution
+	// over x restricted to precomputed reach sets: freach is the
+	// forward reach of the right-hand side's support (closed under
+	// LSucc, ascending) and breach the backward reach of freach (closed
+	// under USucc, ascending, a superset of freach). Entries of x
+	// outside freach must be zero on entry; entries outside breach are
+	// untouched and remain exact zeros of the solution. On the reach
+	// set the result is bit-identical to SolveInPlace on the equivalent
+	// dense right-hand side: the restricted loops execute the same
+	// floating-point operations in the same order.
+	SolveReachInPlace(x []float64, freach, breach []int)
 }
 
 // Compile-time interface checks.
@@ -27,10 +54,22 @@ var (
 //
 //	A^O·(Q⁻¹x) = P·b   ⇒   x = Q·solve(P·b)
 //
-// (§2.2 of the paper). Applying the permutations costs O(n).
+// (§2.2 of the paper). Applying the permutations costs O(n) on the
+// dense paths and O(|support|) on the sparse path.
+//
+// F and O must not be replaced after the first SolveSparse call: the
+// sparse path caches the inverse row permutation and the adjacency
+// accessors on first use (concurrent solves on one Solver are safe; the
+// factor containers are only read).
 type Solver struct {
 	F Factors
 	O sparse.Ordering
+
+	// Lazily built sparse-path plumbing (see sparsePrep).
+	sparseOnce sync.Once
+	rowInv     sparse.Perm
+	lsucc      func(int) []int
+	usucc      func(int) []int
 }
 
 // Solve returns x with A·x = b, leaving b untouched.
@@ -55,12 +94,15 @@ type SolveWorkspace struct {
 	w []float64
 }
 
-// vector returns the scratch vector, (re)allocating when the dimension
-// changes. SolveWith overwrites every position before reading it.
+// vector returns the scratch vector, reusing capacity across dimension
+// changes (serving workers hop between snapshots of different sizes;
+// shrinking must not churn allocations). SolveWith overwrites every
+// position before reading it, so stale values are harmless.
 func (ws *SolveWorkspace) vector(n int) []float64 {
-	if len(ws.w) != n {
+	if cap(ws.w) < n {
 		ws.w = make([]float64, n)
 	}
+	ws.w = ws.w[:n]
 	return ws.w
 }
 
@@ -68,17 +110,29 @@ func (ws *SolveWorkspace) vector(n int) []float64 {
 // workspace, solves in place, and scatters into a fresh result. The
 // returned vector is bit-identical to Solve's for the same b.
 func (s *Solver) SolveWith(b []float64, ws *SolveWorkspace) []float64 {
+	return s.SolveInto(nil, b, ws)
+}
+
+// SolveInto is SolveWith writing the result into caller-owned dst,
+// reusing its capacity when possible (nil dst allocates). dst may alias
+// b: b is fully consumed by the permutation before dst is written.
+// Every position of dst is overwritten. The result is bit-identical to
+// Solve's for the same b.
+func (s *Solver) SolveInto(dst, b []float64, ws *SolveWorkspace) []float64 {
 	n := len(s.O.Row)
 	w := ws.vector(n)
 	for i, v := range s.O.Row {
 		w[i] = b[v] // b' = P·b
 	}
 	s.F.SolveInPlace(w)
-	out := make([]float64, n)
-	for i, v := range s.O.Col {
-		out[v] = w[i] // x = Q·x'
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return out
+	dst = dst[:n]
+	for i, v := range s.O.Col {
+		dst[v] = w[i] // x = Q·x'
+	}
+	return dst
 }
 
 // SolveBatch solves A·X = B for many right-hand sides through one
@@ -90,6 +144,101 @@ func (s *Solver) SolveBatch(bs [][]float64, ws *SolveWorkspace) [][]float64 {
 		out[i] = s.SolveWith(b, ws)
 	}
 	return out
+}
+
+// SparseSolveWorkspace holds every piece of scratch a reach-based solve
+// needs — two reach traversals, the dense-scattered value vector, and
+// the output buffers — so a steady-state query worker performs no
+// per-query allocation. The zero value is ready to use; a workspace
+// must not be shared between concurrent solves but may be reused across
+// solvers of different dimensions (capacity is kept on shrink).
+//
+// Invariant: between calls, x is all-zero on every position it has ever
+// exposed; SolveSparse restores this by re-zeroing exactly the touched
+// reach set.
+type SparseSolveWorkspace struct {
+	fwd, bwd sparse.ReachWorkspace
+	x        []float64
+	seeds    []int
+	outIdx   []int
+	outVal   []float64
+}
+
+// dense returns the all-zero dense scratch vector of dimension n.
+func (ws *SparseSolveWorkspace) dense(n int) []float64 {
+	if cap(ws.x) < n {
+		ws.x = make([]float64, n)
+	}
+	// Growing within capacity is safe: every previously exposed
+	// position was re-zeroed after the solve that touched it.
+	ws.x = ws.x[:n]
+	return ws.x
+}
+
+// sparsePrep lazily builds the sparse-path plumbing shared by every
+// SolveSparse call on this solver: the inverse row permutation (so the
+// right-hand-side permutation costs O(|support|), not O(n)) and the
+// bound adjacency accessors (so the reach traversals allocate nothing
+// per query).
+func (s *Solver) sparsePrep() {
+	s.sparseOnce.Do(func() {
+		s.rowInv = s.O.Row.Inverse()
+		s.lsucc = s.F.LSucc
+		s.usucc = s.F.USucc
+	})
+}
+
+// SolveSparse solves A·x = b for a sparse right-hand side given as
+// support/value pairs (duplicate indices accumulate, matching a dense
+// scatter), touching only the rows reachable from the support in the
+// factors' dependency graphs — the Gilbert–Peierls sparse-RHS solve.
+// It returns the solution's support (original numbering, unsorted) and
+// the matching values; every index not listed is an exact zero of the
+// solution. On the returned support the values are bit-identical to
+// the dense Solve path. The returned slices alias the workspace and
+// stay valid until its next solve.
+//
+// maxReach caps the number of rows the solve may touch: when the reach
+// would exceed it the symbolic probe aborts early — before any numeric
+// work — and SolveSparse returns ok = false, in which case the caller
+// should take the dense path. maxReach <= 0 means unlimited.
+func (s *Solver) SolveSparse(bIdx []int, bVal []float64, maxReach int, ws *SparseSolveWorkspace) (idx []int, val []float64, ok bool) {
+	s.sparsePrep()
+	n := s.F.Dim()
+
+	// Permute the support: supp(P·b) = P⁻¹ applied entrywise.
+	ws.seeds = ws.seeds[:0]
+	for _, u := range bIdx {
+		ws.seeds = append(ws.seeds, s.rowInv[u])
+	}
+	// Symbolic phase: forward reach of the support under L, then
+	// backward reach of that under U. Both abort early past maxReach.
+	freach, ok := ws.fwd.Reach(n, ws.seeds, s.lsucc, maxReach)
+	if !ok {
+		return nil, nil, false
+	}
+	breach, ok := ws.bwd.Reach(n, freach, s.usucc, maxReach)
+	if !ok {
+		return nil, nil, false
+	}
+
+	// Numeric phase on the reach set only.
+	x := ws.dense(n)
+	for k, u := range bIdx {
+		x[s.rowInv[u]] += bVal[k] // b' = P·b, sparse scatter
+	}
+	s.F.SolveReachInPlace(x, freach, breach)
+
+	// Gather x = Q·x' on the support and restore the workspace's
+	// all-zero invariant in the same pass.
+	ws.outIdx = ws.outIdx[:0]
+	ws.outVal = ws.outVal[:0]
+	for _, i := range breach {
+		ws.outIdx = append(ws.outIdx, s.O.Col[i])
+		ws.outVal = append(ws.outVal, x[i])
+		x[i] = 0
+	}
+	return ws.outIdx, ws.outVal, true
 }
 
 // FactorizeOrdered is the one-call convenience used throughout the

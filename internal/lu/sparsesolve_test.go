@@ -1,0 +1,245 @@
+// Property tests of the reach-based sparse solve path: SolveSparse
+// must reproduce the dense Solve bit for bit on its reported support
+// and the dense solution must be exactly zero everywhere else — across
+// every factor state the pipelines produce (BF/INC/CINC/CLUDE) and
+// after randomized Bennett update sequences on both containers.
+//
+// External test package: the scenarios drive internal/core and
+// internal/bennett, which import lu.
+package lu_test
+
+import (
+	"testing"
+
+	"repro/internal/bennett"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/order"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// testEMS builds a small Wiki-like evolving matrix sequence.
+func testEMS(t *testing.T) *graph.EMS {
+	t.Helper()
+	egs, err := gen.WikiSim(gen.WikiConfig{
+		N: 150, T: 10, InitialEdges: 420, FinalEdges: 465,
+		ChurnFrac: 0.25, EventRate: 0.05, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.DeriveEMS(egs, graph.RWRMatrix(0.85))
+}
+
+// checkSparseMatchesDense solves one right-hand side through both
+// paths and asserts the bit-identity contract.
+func checkSparseMatchesDense(t *testing.T, tag string, s *lu.Solver, bIdx []int, bVal []float64, ws *lu.SparseSolveWorkspace) {
+	t.Helper()
+	n := s.F.Dim()
+	b := make([]float64, n)
+	for k, u := range bIdx {
+		b[u] += bVal[k]
+	}
+	dense := s.Solve(b)
+
+	idx, val, ok := s.SolveSparse(bIdx, bVal, 0, ws)
+	if !ok {
+		t.Fatalf("%s: unlimited SolveSparse aborted", tag)
+	}
+	onSupport := make([]bool, n)
+	for k, u := range idx {
+		if onSupport[u] {
+			t.Fatalf("%s: duplicate support index %d", tag, u)
+		}
+		onSupport[u] = true
+		if val[k] != dense[u] {
+			t.Fatalf("%s: x[%d] = %v sparse vs %v dense", tag, u, val[k], dense[u])
+		}
+	}
+	for u := 0; u < n; u++ {
+		if !onSupport[u] && dense[u] != 0 {
+			t.Fatalf("%s: dense x[%d] = %v off the reported reach", tag, u, dense[u])
+		}
+	}
+}
+
+// randomRHS draws a single-seed or small multi-seed right-hand side.
+func randomRHS(rng *xrand.Rand, n int) ([]int, []float64) {
+	k := 1
+	if rng.Intn(3) == 0 {
+		k = 2 + rng.Intn(3)
+	}
+	idx := make([]int, k)
+	val := make([]float64, k)
+	for i := range idx {
+		idx[i] = rng.Intn(n) // duplicates allowed: they must accumulate
+		val[i] = 0.15 * (1 + rng.Float64())
+	}
+	return idx, val
+}
+
+// TestSolveSparseMatchesDenseAcrossAlgorithms pins every factor state
+// the four pipelines emit and replays random right-hand sides through
+// both solve paths.
+func TestSolveSparseMatchesDenseAcrossAlgorithms(t *testing.T) {
+	ems := testEMS(t)
+	for _, alg := range []core.Algorithm{core.BF, core.INC, core.CINC, core.CLUDE} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			var solvers []*lu.Solver
+			if _, err := core.Run(ems, alg, core.Options{
+				Alpha:         0.95,
+				RetainFactors: true,
+				OnFactors:     func(i int, s *lu.Solver) { solvers = append(solvers, s) },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(solvers) != ems.Len() {
+				t.Fatalf("retained %d solvers, want %d", len(solvers), ems.Len())
+			}
+			rng := xrand.New(31)
+			var ws lu.SparseSolveWorkspace // shared across all solves on purpose
+			for _, s := range solvers {
+				for q := 0; q < 8; q++ {
+					bIdx, bVal := randomRHS(rng, s.F.Dim())
+					checkSparseMatchesDense(t, string(alg), s, bIdx, bVal, &ws)
+				}
+			}
+		})
+	}
+}
+
+// TestSolveSparseAfterRandomBennettSequences drives both containers
+// through randomized jumps across the sequence (each jump one Bennett
+// update batch, splicing fill into the dynamic container) and checks
+// the contract after every jump.
+func TestSolveSparseAfterRandomBennettSequences(t *testing.T) {
+	ems := testEMS(t)
+
+	// Static container over the USSP of the whole sequence, so any
+	// jump's delta stays within the frozen structure (the CLUDE setup).
+	union := ems.Matrices[0].Pattern()
+	for _, m := range ems.Matrices[1:] {
+		union = union.Union(m.Pattern())
+	}
+	ord := order.Markowitz(union).Ordering
+	perm := make([]*sparse.CSR, ems.Len())
+	for i, m := range ems.Matrices {
+		perm[i] = m.Permute(ord)
+	}
+	static := lu.NewStaticFactors(lu.Symbolic(union.Permute(ord)))
+	if err := static.Factorize(perm[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dynamic container from the first matrix's own pattern (the INC
+	// setup): updates splice genuinely new fill into the lists, which
+	// must keep the column indices coherent.
+	ord2 := order.Markowitz(ems.Matrices[0].Pattern()).Ordering
+	perm2 := make([]*sparse.CSR, ems.Len())
+	for i, m := range ems.Matrices {
+		perm2[i] = m.Permute(ord2)
+	}
+	seed := lu.NewStaticFactors(lu.Symbolic(perm2[0].Pattern()))
+	if err := seed.Factorize(perm2[0]); err != nil {
+		t.Fatal(err)
+	}
+	dynamic := lu.NewDynamicFactors(seed)
+
+	sSolver := &lu.Solver{F: static, O: ord}
+	dSolver := &lu.Solver{F: dynamic, O: ord2}
+
+	rng := xrand.New(99)
+	var ws lu.SparseSolveWorkspace
+	cur, cur2 := 0, 0
+	for step := 0; step < 12; step++ {
+		next := rng.Intn(ems.Len())
+		if err := bennett.UpdateStatic(static, sparse.Delta(perm[cur], perm[next]), nil); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+		next2 := rng.Intn(ems.Len())
+		if err := bennett.UpdateDynamic(dynamic, sparse.Delta(perm2[cur2], perm2[next2]), nil); err != nil {
+			t.Fatal(err)
+		}
+		cur2 = next2
+
+		for q := 0; q < 4; q++ {
+			bIdx, bVal := randomRHS(rng, ems.N())
+			checkSparseMatchesDense(t, "static", sSolver, bIdx, bVal, &ws)
+			bIdx, bVal = randomRHS(rng, ems.N())
+			checkSparseMatchesDense(t, "dynamic", dSolver, bIdx, bVal, &ws)
+		}
+	}
+}
+
+// TestSolveSparseReachCap: a cap below the true reach must abort before
+// numeric work and leave the workspace reusable; a generous cap must
+// succeed.
+func TestSolveSparseReachCap(t *testing.T) {
+	ems := testEMS(t)
+	ord := order.Markowitz(ems.Matrices[0].Pattern()).Ordering
+	s, err := lu.FactorizeOrdered(ems.Matrices[0], ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws lu.SparseSolveWorkspace
+	idx, _, ok := s.SolveSparse([]int{3}, []float64{0.15}, 0, &ws)
+	if !ok {
+		t.Fatal("unlimited solve aborted")
+	}
+	reach := len(idx)
+	if reach < 2 {
+		t.Skipf("degenerate reach %d", reach)
+	}
+	if _, _, ok := s.SolveSparse([]int{3}, []float64{0.15}, reach-1, &ws); ok {
+		t.Fatalf("cap %d below reach %d did not abort", reach-1, reach)
+	}
+	// The workspace must still produce correct answers after an abort.
+	checkSparseMatchesDense(t, "post-abort", s, []int{3}, []float64{0.15}, &ws)
+	if idx2, _, ok := s.SolveSparse([]int{3}, []float64{0.15}, reach, &ws); !ok || len(idx2) != reach {
+		t.Fatalf("cap == reach failed (ok=%v len=%d want %d)", ok, len(idx2), reach)
+	}
+}
+
+// TestSolveIntoMatchesSolveWith: SolveInto must be bit-identical to
+// SolveWith, reuse dst capacity, and tolerate dst aliasing b.
+func TestSolveIntoMatchesSolveWith(t *testing.T) {
+	ems := testEMS(t)
+	ord := order.Markowitz(ems.Matrices[0].Pattern()).Ordering
+	s, err := lu.FactorizeOrdered(ems.Matrices[0], ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ems.N()
+	var ws lu.SolveWorkspace
+	b := make([]float64, n)
+	b[7] = 0.15
+	b[31] = 0.05
+	want := s.SolveWith(b, &ws)
+
+	dst := make([]float64, 0, n)
+	got := s.SolveInto(dst, b, &ws)
+	if &got[0] != &dst[:1][0] {
+		t.Error("SolveInto did not reuse dst capacity")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SolveInto differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	// Aliasing: build b in place and solve over itself.
+	alias := make([]float64, n)
+	alias[7] = 0.15
+	alias[31] = 0.05
+	got2 := s.SolveInto(alias, alias, &ws)
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("aliased SolveInto differs at %d: %v vs %v", i, got2[i], want[i])
+		}
+	}
+}

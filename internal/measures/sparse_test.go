@@ -1,0 +1,200 @@
+package measures
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lu"
+	"repro/internal/xrand"
+)
+
+// sparseTestEngine builds an engine over the shared directed test
+// graph with a non-trivial reach structure.
+func sparseTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	g := testGraph(t)
+	e, err := NewEngine(g, 0.85, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// assertSparseEqualsDense checks the SparseScores contract against a
+// dense reference vector.
+func assertSparseEqualsDense(t *testing.T, sp SparseScores, dense []float64) {
+	t.Helper()
+	if sp.N != len(dense) {
+		t.Fatalf("sparse N = %d, dense %d", sp.N, len(dense))
+	}
+	on := make([]bool, sp.N)
+	for k, u := range sp.Idx {
+		on[u] = true
+		if sp.Val[k] != dense[u] {
+			t.Fatalf("score[%d] = %v sparse vs %v dense", u, sp.Val[k], dense[u])
+		}
+	}
+	for u, v := range dense {
+		if !on[u] && v != 0 {
+			t.Fatalf("dense score[%d] = %v off the sparse support", u, v)
+		}
+	}
+}
+
+func TestRWRSparseMatchesDense(t *testing.T) {
+	e := sparseTestEngine(t)
+	var ws lu.SparseSolveWorkspace
+	for u := 0; u < e.dim(); u += 17 {
+		sp, ok := e.RWRSparse(u, 1, &ws) // frac >= 1: never fall back
+		if !ok {
+			t.Fatalf("uncapped RWRSparse(%d) fell back", u)
+		}
+		dense := e.RWR(u)
+		assertSparseEqualsDense(t, sp, dense)
+
+		// Dense() must reproduce the dense vector bit for bit.
+		full := sp.Dense(nil)
+		for i := range dense {
+			if full[i] != dense[i] {
+				t.Fatalf("Dense()[%d] = %v, want %v", i, full[i], dense[i])
+			}
+		}
+	}
+}
+
+func TestPPRSparseMatchesDense(t *testing.T) {
+	e := sparseTestEngine(t)
+	var ws lu.SparseSolveWorkspace
+	cases := [][]int{{3}, {3, 50, 120}, {7, 7, 7}, {}}
+	for _, seeds := range cases {
+		sp, ok := e.PPRSparse(seeds, 1, &ws)
+		if !ok {
+			t.Fatalf("uncapped PPRSparse(%v) fell back", seeds)
+		}
+		assertSparseEqualsDense(t, sp, e.PPR(seeds))
+	}
+}
+
+func TestSparseFallbackHeuristic(t *testing.T) {
+	e := sparseTestEngine(t)
+	var ws lu.SparseSolveWorkspace
+	// The scale-free test graph is one big component: from a hub the
+	// reach is nearly everything, so a tiny cap must trigger fallback.
+	sp, ok := e.RWRSparse(0, 1, &ws)
+	if !ok {
+		t.Fatal("uncapped solve fell back")
+	}
+	frac := sp.ReachFraction()
+	if frac == 0 {
+		t.Fatal("zero reach fraction")
+	}
+	if _, ok := e.RWRSparse(0, frac/2, &ws); ok {
+		t.Fatalf("cap %.3f below reach %.3f did not fall back", frac/2, frac)
+	}
+	// A seed set larger than the cap allows skips the probe entirely.
+	big := make([]int, e.dim()/2)
+	for i := range big {
+		big[i] = i
+	}
+	if _, ok := e.PPRSparse(big, 0.001, &ws); ok {
+		t.Fatal("oversized seed set did not fall back")
+	}
+}
+
+func TestTopKAndRanksSparseMatchDense(t *testing.T) {
+	e := sparseTestEngine(t)
+	var ws lu.SparseSolveWorkspace
+	n := e.dim()
+	rng := xrand.New(12)
+	for trial := 0; trial < 10; trial++ {
+		u := rng.Intn(n)
+		sp, ok := e.RWRSparse(u, 1, &ws)
+		if !ok {
+			t.Fatal("uncapped solve fell back")
+		}
+		dense := e.RWR(u)
+		for _, k := range []int{0, 1, 5, len(sp.Idx), len(sp.Idx) + 7, n, n + 3} {
+			wantNodes := TopK(dense, k)
+			gotNodes, gotScores := TopKSparse(sp, k)
+			if len(gotNodes) != len(wantNodes) {
+				t.Fatalf("k=%d: %d nodes, want %d", k, len(gotNodes), len(wantNodes))
+			}
+			for i := range wantNodes {
+				if gotNodes[i] != wantNodes[i] {
+					t.Fatalf("k=%d node[%d] = %d, want %d", k, i, gotNodes[i], wantNodes[i])
+				}
+				if gotScores[i] != dense[wantNodes[i]] {
+					t.Fatalf("k=%d score[%d] = %v, want %v", k, i, gotScores[i], dense[wantNodes[i]])
+				}
+			}
+		}
+		wantRanks := Ranks(dense)
+		gotRanks := RanksSparse(sp)
+		for i := range wantRanks {
+			if gotRanks[i] != wantRanks[i] {
+				t.Fatalf("rank[%d] = %d, want %d", i, gotRanks[i], wantRanks[i])
+			}
+		}
+	}
+}
+
+func TestTopKSparseNaNAndNegative(t *testing.T) {
+	// Synthetic supports exercising the comparator edges the RWR path
+	// never produces: negative scores rank below the implicit zeros,
+	// NaN after everything.
+	sp := SparseScores{
+		N:   8,
+		Idx: []int{1, 3, 5, 6},
+		Val: []float64{2, -1, math.NaN(), 0},
+	}
+	dense := make([]float64, sp.N)
+	for k, u := range sp.Idx {
+		dense[u] = sp.Val[k]
+	}
+	wantNodes := TopK(dense, sp.N)
+	gotNodes, _ := TopKSparse(sp, sp.N)
+	for i := range wantNodes {
+		if gotNodes[i] != wantNodes[i] {
+			t.Fatalf("node[%d] = %d, want %d (got %v want %v)", i, gotNodes[i], wantNodes[i], gotNodes, wantNodes)
+		}
+	}
+	wantRanks := Ranks(dense)
+	gotRanks := RanksSparse(sp)
+	for i := range wantRanks {
+		if gotRanks[i] != wantRanks[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, gotRanks[i], wantRanks[i])
+		}
+	}
+}
+
+func TestIntoVariantsMatchWith(t *testing.T) {
+	e := sparseTestEngine(t)
+	var ws lu.SolveWorkspace
+	n := e.dim()
+	buf := make([]float64, 0, n)
+
+	wantRWR := e.RWRWith(9, &ws)
+	buf = e.RWRInto(buf, 9, &ws)
+	for i := range wantRWR {
+		if buf[i] != wantRWR[i] {
+			t.Fatalf("RWRInto[%d] = %v, want %v", i, buf[i], wantRWR[i])
+		}
+	}
+
+	seeds := []int{4, 9, 4}
+	wantPPR := e.PPRWith(seeds, &ws)
+	buf = e.PPRInto(buf, seeds, &ws) // reuse dirty buffer on purpose
+	for i := range wantPPR {
+		if buf[i] != wantPPR[i] {
+			t.Fatalf("PPRInto[%d] = %v, want %v", i, buf[i], wantPPR[i])
+		}
+	}
+
+	wantPR := e.PageRankWith(&ws)
+	buf = e.PageRankInto(buf, &ws)
+	for i := range wantPR {
+		if buf[i] != wantPR[i] {
+			t.Fatalf("PageRankInto[%d] = %v, want %v", i, buf[i], wantPR[i])
+		}
+	}
+}

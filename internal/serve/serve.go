@@ -61,6 +61,13 @@ type Config struct {
 	// (A = I − d·W). Queries may omit it (0) or must match it: the
 	// factors cannot answer a different damping.
 	Damping float64
+	// SparseReachFrac tunes the reach-based solve path for
+	// single-source and seed-set queries: when the reach of the
+	// right-hand side exceeds this fraction of n, the worker falls
+	// back to the dense substitution (dense wins at high fill). 0
+	// means measures.DefaultReachFraction; >= 1 never falls back;
+	// negative disables the sparse path entirely.
+	SparseReachFrac float64
 }
 
 // Query is one measure request.
@@ -105,6 +112,18 @@ type Stats struct {
 	CacheEntries     int   `json:"cache_entries"`
 	Retained         int   `json:"retained_snapshots"`
 	Workers          int   `json:"workers"`
+
+	// Solve-path breakdown of the cold solves: SparseSolves answered
+	// through the reach-based path, DenseSolves through the full
+	// substitution (PageRank always; others on fallback or when the
+	// sparse path is disabled). SparseFallbacks counts sparse attempts
+	// whose symbolic probe exceeded the reach cap (each also appears
+	// in DenseSolves). AvgReachFrac is the mean fraction of rows the
+	// sparse solves touched.
+	SparseSolves    int64   `json:"sparse_solves"`
+	DenseSolves     int64   `json:"dense_solves"`
+	SparseFallbacks int64   `json:"sparse_fallbacks"`
+	AvgReachFrac    float64 `json:"avg_reach_frac"`
 }
 
 // HitRate returns the cache hit fraction over answered queries.
@@ -134,6 +153,12 @@ type Engine struct {
 	queries, hits, misses, solves   atomic.Int64
 	rejected, pinCount, snapEvicted atomic.Int64
 	cacheEvicted                    atomic.Int64
+
+	// Sparse-path counters: reachRows/reachDen accumulate the touched-
+	// row and dimension totals of sparse solves, so AvgReachFrac is an
+	// exact ratio without float atomics.
+	sparseSolves, denseSolves, sparseFallbacks atomic.Int64
+	reachRows, reachDen                        atomic.Int64
 }
 
 // snapEntry is one retained snapshot: the pinned solver plus the pin
@@ -270,7 +295,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	retained := len(e.pinned)
 	e.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		Queries:          e.queries.Load(),
 		CacheHits:        e.hits.Load(),
 		CacheMisses:      e.misses.Load(),
@@ -282,7 +307,14 @@ func (e *Engine) Stats() Stats {
 		CacheEntries:     e.cache.len(),
 		Retained:         retained,
 		Workers:          e.cfg.Workers,
+		SparseSolves:     e.sparseSolves.Load(),
+		DenseSolves:      e.denseSolves.Load(),
+		SparseFallbacks:  e.sparseFallbacks.Load(),
 	}
+	if den := e.reachDen.Load(); den > 0 {
+		st.AvgReachFrac = float64(e.reachRows.Load()) / float64(den)
+	}
+	return st
 }
 
 // Query answers q, blocking until a worker replies, the context is
@@ -314,10 +346,21 @@ func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
 	}
 }
 
-// worker owns one solve workspace and drains the task queue.
+// workerScratch is the per-worker reusable state: dense solve scratch,
+// sparse (reach-based) solve scratch, and a dense result buffer for
+// answers that never enter the cache (top-k's full vector), so a
+// steady-state worker's per-query allocation is only what the cache
+// must own.
+type workerScratch struct {
+	ws  lu.SolveWorkspace
+	sws lu.SparseSolveWorkspace
+	buf []float64
+}
+
+// worker owns one scratch set and drains the task queue.
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	var ws lu.SolveWorkspace
+	var w workerScratch
 	for {
 		select {
 		case t := <-e.tasks:
@@ -325,7 +368,7 @@ func (e *Engine) worker() {
 				t.done <- taskResult{err: err}
 				continue
 			}
-			resp, err := e.answer(t.q, &ws)
+			resp, err := e.answer(t.q, &w)
 			t.done <- taskResult{resp: resp, err: err}
 		case <-e.closed:
 			return
@@ -333,9 +376,36 @@ func (e *Engine) worker() {
 	}
 }
 
+// recordSparse accounts one reach-based solve in the stats.
+func (e *Engine) recordSparse(sp measures.SparseScores) {
+	e.sparseSolves.Add(1)
+	e.reachRows.Add(int64(len(sp.Idx)))
+	e.reachDen.Add(int64(sp.N))
+}
+
+// trySparse attempts one reach-based solve, keeping the stats honest:
+// a hit is recorded as a sparse solve, a reach-cap abort as a fallback
+// (the caller then performs — and records — a dense solve).
+func (e *Engine) trySparse(enabled bool, solve func() (measures.SparseScores, bool)) (measures.SparseScores, bool) {
+	if !enabled {
+		return measures.SparseScores{}, false
+	}
+	sp, ok := solve()
+	if !ok {
+		e.sparseFallbacks.Add(1)
+		return measures.SparseScores{}, false
+	}
+	e.recordSparse(sp)
+	return sp, true
+}
+
 // answer resolves, validates, and serves one query on the calling
-// worker's workspace.
-func (e *Engine) answer(q Query, ws *lu.SolveWorkspace) (*Response, error) {
+// worker's scratch. Single-source and seed-set measures go through the
+// reach-based sparse solve first and fall back to the dense
+// substitution when the reach probe exceeds the configured fraction of
+// n; both paths produce bit-identical answers (the stress test holds
+// every response against an independent cold dense solve).
+func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
 	damping := q.Damping
 	if damping == 0 {
 		damping = e.cfg.Damping
@@ -402,20 +472,48 @@ func (e *Engine) answer(q Query, ws *lu.SolveWorkspace) (*Response, error) {
 	e.misses.Add(1)
 
 	me := measures.NewSolverEngine(damping, solver)
+	frac := e.cfg.SparseReachFrac
+	useSparse := frac >= 0
 	var ans answer
 	switch q.Measure {
 	case MeasureRWR:
-		ans.scores = me.RWRWith(q.Source, ws)
+		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
+			return me.RWRSparse(q.Source, frac, &w.sws)
+		}); ok {
+			ans.scores = sp.Dense(nil)
+		} else {
+			e.denseSolves.Add(1)
+			ans.scores = me.RWRWith(q.Source, &w.ws)
+		}
 	case MeasurePPR:
-		ans.scores = me.PPRWith(seeds, ws)
+		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
+			return me.PPRSparse(seeds, frac, &w.sws)
+		}); ok {
+			ans.scores = sp.Dense(nil)
+		} else {
+			e.denseSolves.Add(1)
+			ans.scores = me.PPRWith(seeds, &w.ws)
+		}
 	case MeasurePageRank:
-		ans.scores = me.PageRankWith(ws)
+		// The right-hand side is dense (uniform restart): the reach is
+		// all of n by construction, so this measure is always dense.
+		e.denseSolves.Add(1)
+		ans.scores = me.PageRankWith(&w.ws)
 	case MeasureTopK:
-		full := me.RWRWith(q.Source, ws)
-		ans.nodes = measures.TopK(full, q.K)
-		ans.scores = make([]float64, len(ans.nodes))
-		for i, v := range ans.nodes {
-			ans.scores[i] = full[v]
+		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
+			return me.RWRSparse(q.Source, frac, &w.sws)
+		}); ok {
+			// Top-k straight from the sparse support: the full score
+			// vector is never materialized.
+			ans.nodes, ans.scores = measures.TopKSparse(sp, q.K)
+		} else {
+			e.denseSolves.Add(1)
+			w.buf = me.RWRInto(w.buf, q.Source, &w.ws)
+			ans.nodes = measures.TopK(w.buf, q.K)
+			ans.scores = make([]float64, len(ans.nodes))
+			for i, v := range ans.nodes {
+				ans.scores[i] = w.buf[v]
+			}
 		}
 	}
 	e.solves.Add(1)

@@ -419,3 +419,91 @@ func TestLatestSurvivesOutOfOrderEviction(t *testing.T) {
 		t.Fatalf("latest query resolved to %d, want 2", resp.Snapshot)
 	}
 }
+
+// TestSparsePathStatsAndEquivalence pins the same factors into three
+// engines — sparse path forced (never fall back), default heuristic
+// (real fallback decisions), and sparse disabled — and checks that (a)
+// every configuration's answers equal an independent cold dense solve
+// bit for bit, (b) the path counters add up, and (c) the forced-sparse
+// engine actually took the reach-based path and measured a reach
+// fraction.
+func TestSparsePathStatsAndEquivalence(t *testing.T) {
+	forced, ems, ref := pinnedEngine(t, Config{Workers: 2, SparseReachFrac: 1})
+	defer forced.Close()
+	heuristic, _, _ := pinnedEngine(t, Config{Workers: 2}) // SparseReachFrac 0 = default
+	defer heuristic.Close()
+	disabled, _, _ := pinnedEngine(t, Config{Workers: 2, SparseReachFrac: -1})
+	defer disabled.Close()
+
+	ctx := context.Background()
+	n := ems.N()
+	queries := []Query{
+		{Snapshot: 0, Measure: MeasureRWR, Source: 3},
+		{Snapshot: 1, Measure: MeasureRWR, Source: n - 1},
+		{Snapshot: 2, Measure: MeasureTopK, Source: 5, K: 7},
+		{Snapshot: 3, Measure: MeasurePPR, Sources: []int{2, 9, 40}},
+		{Snapshot: 4, Measure: MeasurePageRank},
+	}
+	for _, q := range queries {
+		nodes, scores := coldAnswer(q, ref[q.Snapshot])
+		for name, eng := range map[string]*Engine{"forced": forced, "heuristic": heuristic, "disabled": disabled} {
+			a, err := eng.Query(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Scores) != len(scores) || len(a.Nodes) != len(nodes) {
+				t.Fatalf("%s %+v: shape mismatch vs cold", name, q)
+			}
+			for i := range scores {
+				if a.Scores[i] != scores[i] {
+					t.Fatalf("%s %+v: score[%d] = %v, cold %v", name, q, i, a.Scores[i], scores[i])
+				}
+			}
+			for i := range nodes {
+				if a.Nodes[i] != nodes[i] {
+					t.Fatalf("%s %+v: node[%d] = %d, cold %d", name, q, i, a.Nodes[i], nodes[i])
+				}
+			}
+		}
+	}
+
+	fst := forced.Stats()
+	// With the cap disabled (frac >= 1) every rwr/topk/ppr cold solve is
+	// sparse; only pagerank is dense.
+	if want := int64(len(queries) - 1); fst.SparseSolves != want {
+		t.Errorf("forced engine: %d sparse solves, want %d", fst.SparseSolves, want)
+	}
+	if fst.DenseSolves != 1 {
+		t.Errorf("forced engine: %d dense solves, want 1 (pagerank)", fst.DenseSolves)
+	}
+	if fst.SparseFallbacks != 0 {
+		t.Errorf("forced engine: %d fallbacks, want 0", fst.SparseFallbacks)
+	}
+	if fst.SparseSolves+fst.DenseSolves != fst.ColdSolves {
+		t.Errorf("sparse %d + dense %d != cold %d", fst.SparseSolves, fst.DenseSolves, fst.ColdSolves)
+	}
+	if fst.AvgReachFrac <= 0 || fst.AvgReachFrac > 1 {
+		t.Errorf("forced engine: avg reach fraction %v outside (0,1]", fst.AvgReachFrac)
+	}
+
+	hst := heuristic.Stats()
+	if hst.SparseSolves+hst.DenseSolves != hst.ColdSolves {
+		t.Errorf("heuristic engine: sparse %d + dense %d != cold %d",
+			hst.SparseSolves, hst.DenseSolves, hst.ColdSolves)
+	}
+	if hst.SparseFallbacks > hst.DenseSolves {
+		t.Errorf("heuristic engine: %d fallbacks exceed %d dense solves",
+			hst.SparseFallbacks, hst.DenseSolves)
+	}
+
+	dst := disabled.Stats()
+	if dst.SparseSolves != 0 || dst.SparseFallbacks != 0 {
+		t.Errorf("disabled engine took the sparse path: %+v", dst)
+	}
+	if dst.DenseSolves != dst.ColdSolves {
+		t.Errorf("disabled engine: dense %d != cold %d", dst.DenseSolves, dst.ColdSolves)
+	}
+	if dst.AvgReachFrac != 0 {
+		t.Errorf("disabled engine reported reach fraction %v", dst.AvgReachFrac)
+	}
+}

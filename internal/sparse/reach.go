@@ -1,0 +1,90 @@
+package sparse
+
+import "sort"
+
+// This file is the symbolic half of sparse-right-hand-side triangular
+// solves (Gilbert–Peierls): given the support of a right-hand side and
+// the dependency DAG of a triangular factor, the set of rows a solve
+// can touch is exactly the set of vertices reachable from the support.
+// For the clustered, low-fill matrices this repository maintains, that
+// reach is typically a small fraction of n, which is what makes the
+// reach-based solve path in internal/lu worthwhile.
+
+// ReachWorkspace holds the scratch of reach computations: an epoch-
+// marked visited array (no O(n) clearing between calls), the DFS stack,
+// and the output buffer. The zero value is ready to use; a workspace
+// must not be shared between concurrent traversals.
+type ReachWorkspace struct {
+	mark  []int32
+	epoch int32
+	stack []int
+	out   []int
+}
+
+// grow (re)sizes the visited array for dimension n, keeping epochs
+// valid when the capacity already suffices.
+func (ws *ReachWorkspace) grow(n int) {
+	if cap(ws.mark) < n {
+		ws.mark = make([]int32, n)
+		ws.epoch = 0
+	}
+	ws.mark = ws.mark[:n]
+	ws.epoch++
+	if ws.epoch == 0 { // wrapped: the marks are stale, clear once
+		for i := range ws.mark {
+			ws.mark[i] = 0
+		}
+		ws.epoch = 1
+	}
+}
+
+// Reach computes the set of vertices reachable from seeds (seeds
+// included) in the directed graph given by succ, where succ(j) returns
+// the successor list of j (the returned slice may alias caller storage;
+// Reach only reads it). The result is sorted ascending and aliases the
+// workspace's output buffer, valid until the next call.
+//
+// Sorted ascending is the topological order the triangular solves need:
+// in the column graph of a strictly lower factor every edge goes j → i
+// with i > j, so ascending index order respects all dependencies; the
+// strictly upper factor's column graph has every edge j → i with i < j,
+// so callers iterate the same slice backwards.
+//
+// When maxReach > 0 and the reach would exceed it, the traversal aborts
+// early — after visiting at most maxReach+1 vertices — and returns
+// (nil, false). This makes "is the reach small enough for the sparse
+// path?" a cheap probe: the dense-fallback decision never pays for a
+// full traversal of a high-fill factor.
+func (ws *ReachWorkspace) Reach(n int, seeds []int, succ func(j int) []int, maxReach int) ([]int, bool) {
+	ws.grow(n)
+	ws.out = ws.out[:0]
+	ws.stack = ws.stack[:0]
+	for _, s := range seeds {
+		if ws.mark[s] == ws.epoch {
+			continue
+		}
+		ws.mark[s] = ws.epoch
+		ws.out = append(ws.out, s)
+		if maxReach > 0 && len(ws.out) > maxReach {
+			return nil, false
+		}
+		ws.stack = append(ws.stack, s)
+		for len(ws.stack) > 0 {
+			j := ws.stack[len(ws.stack)-1]
+			ws.stack = ws.stack[:len(ws.stack)-1]
+			for _, i := range succ(j) {
+				if ws.mark[i] == ws.epoch {
+					continue
+				}
+				ws.mark[i] = ws.epoch
+				ws.out = append(ws.out, i)
+				if maxReach > 0 && len(ws.out) > maxReach {
+					return nil, false
+				}
+				ws.stack = append(ws.stack, i)
+			}
+		}
+	}
+	sort.Ints(ws.out)
+	return ws.out, true
+}

@@ -1,0 +1,94 @@
+package sparse
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// chainSucc builds a succ function from an explicit adjacency map.
+func chainSucc(adj map[int][]int) func(int) []int {
+	return func(j int) []int { return adj[j] }
+}
+
+func TestReachBasic(t *testing.T) {
+	// 0 → 2 → 5, 1 → 2, 3 isolated, 4 → 5.
+	adj := map[int][]int{0: {2}, 1: {2}, 2: {5}, 4: {5}}
+	var ws ReachWorkspace
+
+	got, ok := ws.Reach(6, []int{0}, chainSucc(adj), 0)
+	if !ok || !reflect.DeepEqual(got, []int{0, 2, 5}) {
+		t.Fatalf("reach from 0 = %v (ok=%v), want [0 2 5]", got, ok)
+	}
+	got, ok = ws.Reach(6, []int{3}, chainSucc(adj), 0)
+	if !ok || !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("reach from isolated 3 = %v, want [3]", got)
+	}
+	// Multiple seeds, overlapping closures, deduplicated.
+	got, ok = ws.Reach(6, []int{1, 4, 1}, chainSucc(adj), 0)
+	if !ok || !reflect.DeepEqual(got, []int{1, 2, 4, 5}) {
+		t.Fatalf("reach from {1,4} = %v, want [1 2 4 5]", got)
+	}
+}
+
+func TestReachMaxAborts(t *testing.T) {
+	// A path 0 → 1 → 2 → … → 9: reach from 0 is all 10 vertices.
+	adj := map[int][]int{}
+	for i := 0; i < 9; i++ {
+		adj[i] = []int{i + 1}
+	}
+	var ws ReachWorkspace
+	if _, ok := ws.Reach(10, []int{0}, chainSucc(adj), 4); ok {
+		t.Fatal("reach of 10 vertices reported within cap 4")
+	}
+	if got, ok := ws.Reach(10, []int{0}, chainSucc(adj), 10); !ok || len(got) != 10 {
+		t.Fatalf("reach at exactly the cap failed: %v ok=%v", got, ok)
+	}
+	// Workspace must stay usable after an abort.
+	if got, ok := ws.Reach(10, []int{7}, chainSucc(adj), 0); !ok || !reflect.DeepEqual(got, []int{7, 8, 9}) {
+		t.Fatalf("reach after abort = %v, want [7 8 9]", got)
+	}
+}
+
+func TestReachSortedIsTopologicalForLowerTriangular(t *testing.T) {
+	// Lower-triangular column graph: every edge j → i has i > j, so
+	// the sorted reach must list every predecessor before its
+	// successors.
+	adj := map[int][]int{1: {3, 6}, 3: {4}, 4: {6, 8}, 6: {7}}
+	var ws ReachWorkspace
+	got, ok := ws.Reach(9, []int{1}, chainSucc(adj), 0)
+	if !ok {
+		t.Fatal("unexpected abort")
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("reach %v not sorted", got)
+	}
+	pos := map[int]int{}
+	for k, v := range got {
+		pos[v] = k
+	}
+	for j, succs := range adj {
+		if _, in := pos[j]; !in {
+			continue
+		}
+		for _, i := range succs {
+			if pos[i] <= pos[j] {
+				t.Fatalf("edge %d→%d violates topological order in %v", j, i, got)
+			}
+		}
+	}
+}
+
+func TestReachEpochReuse(t *testing.T) {
+	// Many reuses of one workspace across different dimensions must not
+	// leak visited marks between calls.
+	adj := map[int][]int{0: {1}, 1: {2}}
+	var ws ReachWorkspace
+	for iter := 0; iter < 100; iter++ {
+		n := 3 + iter%5
+		got, ok := ws.Reach(n, []int{0}, chainSucc(adj), 0)
+		if !ok || !reflect.DeepEqual(got, []int{0, 1, 2}) {
+			t.Fatalf("iter %d: reach = %v", iter, got)
+		}
+	}
+}
