@@ -88,6 +88,12 @@ func BenchmarkServingQueries(b *testing.B) { benchExperiment(b, "serving") }
 // internal/bench.SparseSolve).
 func BenchmarkSparseSolveQueries(b *testing.B) { benchExperiment(b, "sparsesolve") }
 
+// BenchmarkStreamingIngest runs the live edge-delta pipeline
+// experiment: ingest throughput vs concurrent query latency vs batch
+// size, plus the hot-publish vs RetainFactors-clone allocation profile
+// (see internal/bench.Streaming).
+func BenchmarkStreamingIngest(b *testing.B) { benchExperiment(b, "streaming") }
+
 // BenchmarkParallelWorkers runs each LUDEM algorithm end-to-end across
 // engine pool sizes (compare sub-benchmark ns/op to see the scaling;
 // on a multi-core box CLUDE/workers=4 should be well under workers=1).

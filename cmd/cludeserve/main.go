@@ -1,11 +1,24 @@
-// Command cludeserve factors an evolving matrix sequence with CLUDE,
-// pins every snapshot's LU factors, and serves proximity-measure
-// queries over HTTP/JSON — the paper's motivating deployment: cheap
-// per-query substitutions on maintained factors.
+// Command cludeserve serves proximity-measure queries over HTTP/JSON —
+// the paper's motivating deployment: cheap per-query substitutions on
+// maintained LU factors.
+//
+// It runs in one of two modes:
+//
+//   - Offline (default): factor a pre-generated evolving matrix
+//     sequence with CLUDE, pin every snapshot's factors, and serve
+//     snapshot-addressed queries.
+//   - Streaming (-stream): start from the sequence's first snapshot and
+//     maintain the factors live. Edge updates arrive over POST /update,
+//     are grouped into versioned batches, and each committed batch is
+//     hot-published into the serving layer without copying the factors
+//     (see docs/STREAMING.md). Latest-state queries answer from the
+//     live factors; -checkpoint k additionally pins a clone every k
+//     versions so recent history stays queryable by snapshot.
 //
 // Usage:
 //
 //	cludeserve -addr :8080 -scale small -alpha 0.95
+//	cludeserve -stream -alg CLUDE -batch 64 -flush-ms 200 -checkpoint 32
 //
 // Endpoints:
 //
@@ -14,10 +27,17 @@
 //	GET /query?measure=pagerank                      global PageRank
 //	GET /query?measure=topk&source=5&k=10            top-10 nodes by RWR
 //	POST /query  {"measure":"rwr","source":5}        same, JSON body
+//	POST /update {"events":[{"from":1,"to":2,"op":"insert"}]}   (-stream)
+//	POST /update?sync=1                              commit before replying
 //	GET /snapshots                                   retained snapshot ids
-//	GET /stats                                       serving counters
+//	GET /stats                                       serving (+stream) counters
 //
-// snapshot defaults to -1 (the latest pinned snapshot).
+// snapshot defaults to -1: the live head in streaming mode, the latest
+// pinned snapshot otherwise.
+//
+// On SIGINT/SIGTERM the server stops accepting requests, drains
+// in-flight queries and the ingest queue, and only then shuts the
+// engines down; a second signal force-kills.
 package main
 
 import (
@@ -32,6 +52,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -45,12 +66,18 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		scale     = flag.String("scale", "small", "dataset scale: tiny | small | medium | paper")
-		alpha     = flag.Float64("alpha", 0.95, "CLUDE clustering threshold")
+		alpha     = flag.Float64("alpha", 0.95, "CLUDE/CINC clustering threshold")
 		workers   = flag.Int("workers", 0, "query pool size (0 = GOMAXPROCS)")
-		factorW   = flag.Int("factor-workers", 0, "factorization pool size (0 = GOMAXPROCS)")
+		factorW   = flag.Int("factor-workers", 0, "offline factorization pool size (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cache", 4096, "LRU result-cache entries")
 		maxSnaps  = flag.Int("snapshots", 0, "snapshot store bound (0 = retain the whole sequence)")
 		reachFrac = flag.Float64("sparse-frac", 0, "reach-fraction cap of the sparse solve path (0 = default heuristic, >=1 = always sparse, <0 = always dense)")
+
+		streaming  = flag.Bool("stream", false, "streaming mode: live edge-delta ingestion via POST /update")
+		algName    = flag.String("alg", "CLUDE", "streaming maintenance strategy: BF | INC | CINC | CLUDE")
+		batchSize  = flag.Int("batch", 64, "streaming: events per ingest batch")
+		flushMS    = flag.Int("flush-ms", 200, "streaming: max linger before a partial batch commits (0 = size-only)")
+		checkpoint = flag.Int("checkpoint", 0, "streaming: pin a factor clone every k versions (0 = never)")
 	)
 	flag.Parse()
 
@@ -62,32 +89,120 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ems := graph.DeriveEMS(egs, graph.RWRMatrix(d.Damping))
-	bound := *maxSnaps
-	if bound <= 0 {
-		bound = ems.Len()
-	}
+
 	eng := serve.New(serve.Config{
-		MaxSnapshots:    bound,
+		MaxSnapshots:    snapshotBound(*maxSnaps, egs.Len()),
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
 		Damping:         d.Damping,
 		SparseReachFrac: *reachFrac,
 	})
-	defer eng.Close()
 
-	log.Printf("factoring %d snapshots (n=%d) with CLUDE alpha=%v ...", ems.Len(), ems.N(), *alpha)
+	var stream *core.Stream
+	var batcher *core.Batcher
+	if *streaming {
+		stream, batcher, err = startStream(eng, egs, d.Damping, *algName, *alpha, *batchSize, *flushMS, *checkpoint)
+	} else {
+		err = factorOffline(eng, egs, d.Damping, *alpha, *factorW)
+	}
+	if err != nil {
+		eng.Close()
+		fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newMux(eng, stream, batcher)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			eng.Close()
+			fatal(err)
+		}
+	case <-ctx.Done():
+		// First signal: drain. stop() restores default signal handling,
+		// so a second signal force-kills a wedged shutdown.
+		stop()
+		log.Printf("signal received; draining in-flight queries ...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		<-errCh // ListenAndServe has returned ErrServerClosed
+	}
+
+	// HTTP is quiet; now drain the ingest queue and stop the engines.
+	if batcher != nil {
+		log.Printf("draining ingest queue (%d pending) ...", batcher.Pending())
+		if err := batcher.Close(); err != nil {
+			log.Printf("ingest drain: %v", err)
+		}
+	}
+	if stream != nil {
+		log.Printf("stream final: %+v", stream.Stats())
+		stream.Close()
+	}
+	eng.Close()
+	log.Printf("shut down; final stats: %+v", eng.Stats())
+}
+
+// snapshotBound resolves the -snapshots flag (0 = the whole sequence).
+func snapshotBound(flagVal, seqLen int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	return seqLen
+}
+
+// factorOffline is the classic mode: run CLUDE over the materialized
+// sequence and pin every snapshot.
+func factorOffline(eng *serve.Engine, egs *graph.EGS, damping, alpha float64, factorW int) error {
+	ems := graph.DeriveEMS(egs, graph.RWRMatrix(damping))
+	log.Printf("factoring %d snapshots (n=%d) with CLUDE alpha=%v ...", ems.Len(), ems.N(), alpha)
 	t0 := time.Now()
 	if _, err := core.Run(ems, core.CLUDE, core.Options{
-		Alpha:         *alpha,
-		Workers:       *factorW,
+		Alpha:         alpha,
+		Workers:       factorW,
 		RetainFactors: true,
 		OnFactors:     eng.OnFactors(),
 	}); err != nil {
-		fatal(err)
+		return err
 	}
-	log.Printf("pinned %d snapshots in %v; serving on %s", len(eng.Snapshots()), time.Since(t0).Round(time.Millisecond), *addr)
+	log.Printf("pinned %d snapshots in %v", len(eng.Snapshots()), time.Since(t0).Round(time.Millisecond))
+	return nil
+}
 
+// startStream is the live mode: seed a streaming engine with the first
+// snapshot, attach it as the serve layer's live source, and return the
+// ingest batcher POST /update feeds.
+func startStream(eng *serve.Engine, egs *graph.EGS, damping float64, algName string, alpha float64, batchSize, flushMS, checkpoint int) (*core.Stream, *core.Batcher, error) {
+	cfg := core.StreamConfig{
+		Algorithm: core.Algorithm(strings.ToUpper(algName)),
+		Alpha:     alpha,
+		Initial:   egs.Snapshots[0],
+		Derive:    graph.RWRMatrix(damping),
+	}
+	if checkpoint > 0 {
+		cfg.OnPublish = eng.CheckpointEvery(uint64(checkpoint))
+	}
+	t0 := time.Now()
+	stream, err := core.NewStream(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng.AttachLive(stream)
+	log.Printf("streaming %s over n=%d (initial factorization %v); ingest batches of %d, linger %dms, checkpoint every %d",
+		cfg.Algorithm, stream.N(), time.Since(t0).Round(time.Millisecond), batchSize, flushMS, checkpoint)
+	return stream, stream.NewBatcher(batchSize, time.Duration(flushMS)*time.Millisecond), nil
+}
+
+// newMux wires the endpoints. stream/batcher are nil in offline mode.
+func newMux(eng *serve.Engine, stream *core.Stream, batcher *core.Batcher) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		q, err := parseQuery(r)
@@ -102,33 +217,102 @@ func main() {
 		}
 		writeJSON(w, resp)
 	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if batcher == nil {
+			writeError(w, http.StatusNotFound, errors.New("not in streaming mode (run with -stream)"))
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		events, err := parseUpdate(r, stream.N())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := batcher.Send(events...); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		out := map[string]interface{}{"queued": len(events)}
+		if r.URL.Query().Get("sync") != "" {
+			v, err := batcher.Flush()
+			if err != nil {
+				writeError(w, statusFor(err), err)
+				return
+			}
+			out["version"] = v
+		} else {
+			out["pending"] = batcher.Pending()
+			out["version"] = stream.Version()
+		}
+		writeJSON(w, out)
+	})
 	mux.HandleFunc("/snapshots", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]interface{}{
+		out := map[string]interface{}{
 			"retained": eng.Snapshots(),
 			"latest":   eng.Latest(),
-		})
+		}
+		if stream != nil {
+			out["live_version"] = stream.Version()
+		}
+		writeJSON(w, out)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := eng.Stats()
-		writeJSON(w, map[string]interface{}{
+		out := map[string]interface{}{
 			"stats":    st,
 			"hit_rate": st.HitRate(),
-		})
+		}
+		if stream != nil {
+			out["stream"] = stream.Stats()
+		}
+		writeJSON(w, out)
 	})
+	return mux
+}
 
-	srv := &http.Server{Addr: *addr, Handler: mux}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
-	}()
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fatal(err)
+// updateBody is the POST /update payload.
+type updateBody struct {
+	Events []updateEvent `json:"events"`
+}
+
+type updateEvent struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Op   string `json:"op,omitempty"` // insert (default) | delete | update | + | - | ~
+}
+
+// parseUpdate decodes and fully validates an ingest batch. Validation
+// must happen here, synchronously: an async (batched) update is
+// acknowledged before it commits, and a malformed event reaching the
+// batcher would poison the whole coalesced batch — dropping other
+// clients' already-acknowledged events and surfacing the error to an
+// unrelated request.
+func parseUpdate(r *http.Request, n int) ([]graph.EdgeEvent, error) {
+	var body updateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("bad JSON body: %w", err)
 	}
-	log.Printf("shut down; final stats: %+v", eng.Stats())
+	if len(body.Events) == 0 {
+		return nil, errors.New("empty event list")
+	}
+	events := make([]graph.EdgeEvent, len(body.Events))
+	for i, ev := range body.Events {
+		op := graph.EdgeInsert
+		if ev.Op != "" {
+			var err error
+			if op, err = graph.ParseEdgeOp(ev.Op); err != nil {
+				return nil, err
+			}
+		}
+		if ev.From < 0 || ev.From >= n || ev.To < 0 || ev.To >= n {
+			return nil, fmt.Errorf("event %d: endpoint (%d,%d) outside [0,%d)", i, ev.From, ev.To, n)
+		}
+		events[i] = graph.EdgeEvent{From: ev.From, To: ev.To, Op: op}
+	}
+	return events, nil
 }
 
 // parseQuery accepts either URL parameters (GET) or a JSON body (POST)
@@ -180,7 +364,7 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, serve.ErrUnknownSnapshot), errors.Is(err, serve.ErrNoSnapshots):
 		return http.StatusNotFound
-	case errors.Is(err, serve.ErrClosed):
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, core.ErrStreamClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable

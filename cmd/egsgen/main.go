@@ -1,28 +1,33 @@
 // Command egsgen generates a synthetic evolving graph sequence with the
-// paper's generator (§6) and writes it as a simple text format: one
-// header line "egs <V> <T> <directed>" followed, per snapshot, by a
-// line "snapshot <t> <edges>" and one "u v" line per edge.
+// paper's generator (§6) and writes it in one of two trivial text
+// formats that downstream tooling in any language can consume:
+//
+//   - Default: the snapshot-sequence format ("egs ..."), one full edge
+//     list per snapshot (see graph.WriteEGS).
+//   - -deltas: the edge-event stream format ("egsdeltas ..."), the
+//     initial snapshot followed by one insert/delete batch per step —
+//     the streaming engine's native input (see graph.WriteDeltas), so
+//     benchmarks, tests, and live ingestion share one generator.
 //
 // Usage:
 //
 //	egsgen -v 2000 -ep 18000 -d 5 -k 4 -deltae 40 -t 60 -seed 1 > egs.txt
-//
-// The format is deliberately trivial so downstream tooling in any
-// language can consume it.
+//	egsgen -deltas -v 2000 -t 60 > egs_deltas.txt
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
 func main() {
 	var cfg gen.SyntheticConfig
 	var seed uint64
+	var deltas bool
 	flag.IntVar(&cfg.V, "v", 2000, "number of vertices")
 	flag.IntVar(&cfg.EP, "ep", 18000, "edge pool size")
 	flag.IntVar(&cfg.D, "d", 5, "average degree of first snapshot")
@@ -30,22 +35,25 @@ func main() {
 	flag.IntVar(&cfg.DeltaE, "deltae", 40, "edge changes per step")
 	flag.IntVar(&cfg.T, "t", 60, "snapshots")
 	flag.Uint64Var(&seed, "seed", 1, "PRNG seed")
+	flag.BoolVar(&deltas, "deltas", false, "emit the edge-event stream format instead of full snapshots")
 	flag.Parse()
 	cfg.Seed = seed
 
 	egs, err := gen.Synthetic(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "egsgen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	fmt.Fprintf(w, "egs %d %d %t\n", egs.N(), egs.Len(), egs.Snapshots[0].Directed())
-	for t, g := range egs.Snapshots {
-		es := g.Edges()
-		fmt.Fprintf(w, "snapshot %d %d\n", t, len(es))
-		for _, e := range es {
-			fmt.Fprintf(w, "%d %d\n", e.From, e.To)
-		}
+	if deltas {
+		err = graph.WriteDeltas(os.Stdout, egs.Snapshots[0], graph.DeltaBatches(egs))
+	} else {
+		err = graph.WriteEGS(os.Stdout, egs)
 	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "egsgen:", err)
+	os.Exit(1)
 }

@@ -40,6 +40,7 @@ func Registry() []Experiment {
 		{"parallel", "Engine: wall-clock scaling vs worker-pool size (beyond the paper)", Parallel},
 		{"serving", "Serving layer: query throughput/latency vs pool size, cache hit rate", Serving},
 		{"sparsesolve", "Serving layer: reach-based sparse vs dense solve latency vs cluster count", SparseSolve},
+		{"streaming", "Streaming engine: update throughput vs live query latency vs batch size; publish-path allocations", Streaming},
 	}
 }
 

@@ -75,9 +75,11 @@ func RunMeasured(e Experiment, d Datasets) (tables []*Table, elapsed time.Durati
 	return tables, elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
 }
 
-// WriteJSON persists the report to path (creating parent directories),
-// via a temp file + rename so a crashed writer never leaves a torn
-// artifact for the CI upload step to grab.
+// WriteJSON persists the report to path, creating any missing parent
+// directories (a local `cludebench -json` or BENCH_JSON_DIR run must
+// not require pre-creating the artifact directory), via a temp file +
+// rename so a crashed writer never leaves a torn artifact for the CI
+// upload step to grab.
 func WriteJSON(path string, r *Report) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("bench: %w", err)

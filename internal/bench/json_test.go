@@ -8,6 +8,41 @@ import (
 	"time"
 )
 
+// TestWriteJSONCreatesMissingDir pins the contract that local -json
+// runs (and BENCH_JSON_DIR pointing at a fresh path) work without
+// pre-creating the artifact directory: deeply missing directories are
+// created, and a bare relative filename writes into the working
+// directory.
+func TestWriteJSONCreatesMissingDir(t *testing.T) {
+	base := t.TempDir()
+	deep := ArtifactPath(filepath.Join(base, "a", "b", "c"), "streaming")
+	if err := WriteJSON(deep, NewReport()); err != nil {
+		t.Fatalf("WriteJSON into missing nested dir: %v", err)
+	}
+	if _, err := os.Stat(deep); err != nil {
+		t.Fatal(err)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(base); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := WriteJSON("bare.json", NewReport()); err != nil {
+		t.Fatalf("WriteJSON with a bare relative path: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(base, "bare.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestWriteJSONRoundTrip persists a report and reads it back.
 func TestWriteJSONRoundTrip(t *testing.T) {
 	dir := t.TempDir()

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+// Streaming measures the live edge-delta pipeline the paper motivates
+// but never benchmarks: sustained update throughput against concurrent
+// query latency as the ingest batch size varies, plus the publish-path
+// allocation profile — the evidence that hot-publishing a version costs
+// zero full-factor copies, against the RetainFactors clone baseline it
+// replaced.
+func Streaming(d Datasets) ([]*Table, error) {
+	egs, err := gen.Synthetic(d.Synthetic)
+	if err != nil {
+		return nil, err
+	}
+	deriver := graph.RWRMatrix(d.Damping)
+	initial := egs.Snapshots[0]
+	// The full event stream, regrouped per batch-size setting below.
+	var events []graph.EdgeEvent
+	for _, b := range graph.DeltaBatches(egs) {
+		events = append(events, b...)
+	}
+
+	throughput, err := streamingThroughput(initial, deriver, events, d)
+	if err != nil {
+		return nil, err
+	}
+	publish, err := streamingPublishCost(egs, initial, deriver, d)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{throughput, publish}, nil
+}
+
+// streamingThroughput ingests the event stream at several batch sizes
+// while query workers hammer the live head, reporting both sides of the
+// read/write contention the hot-publish lock mediates.
+func streamingThroughput(initial *graph.Graph, deriver graph.Deriver, events []graph.EdgeEvent, d Datasets) (*Table, error) {
+	tbl := &Table{
+		Title: fmt.Sprintf("Streaming ingest vs concurrent query latency (CLUDE, n=%d, %d events, GOMAXPROCS=%d)",
+			initial.N(), len(events), runtime.GOMAXPROCS(0)),
+		Header: []string{"batch size", "batches", "ingest wall", "events/s", "queries", "mean lat", "rebuilds"},
+	}
+	for _, bs := range []int{8, 32, 128} {
+		stream, err := core.NewStream(core.StreamConfig{
+			Algorithm: core.CLUDE, Alpha: 0.95, Initial: initial, Derive: deriver,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng := serve.New(serve.Config{Workers: 2, CacheSize: 256, Damping: d.Damping})
+		eng.AttachLive(stream)
+
+		const clients = 2
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var queries atomic.Int64
+		var latNS atomic.Int64
+		var qerr atomic.Value
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				rng := xrand.New(seed)
+				ctx := context.Background()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					q := serve.Query{Snapshot: -1, Measure: serve.MeasureRWR, Source: rng.Intn(initial.N())}
+					t0 := time.Now()
+					if _, err := eng.Query(ctx, q); err != nil {
+						qerr.Store(err)
+						return
+					}
+					latNS.Add(time.Since(t0).Nanoseconds())
+					queries.Add(1)
+				}
+			}(uint64(1000 + c))
+		}
+
+		batches := 0
+		t0 := time.Now()
+		for at := 0; at < len(events); at += bs {
+			end := minInt(at+bs, len(events))
+			if _, err := stream.Apply(events[at:end]); err != nil {
+				return nil, err
+			}
+			batches++
+		}
+		wall := time.Since(t0)
+		// On a short ingest the clients may not have been scheduled yet;
+		// give them a moment so the latency column is populated (those
+		// trailing queries run against the final version, which is fine —
+		// the column reports live-head query latency, not contention).
+		for w := 0; w < 100 && queries.Load() < clients; w++ {
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+		wg.Wait()
+		st := stream.Stats()
+		eng.Close()
+		stream.Close()
+		if err, ok := qerr.Load().(error); ok {
+			return nil, fmt.Errorf("bench: streaming query: %w", err)
+		}
+
+		meanLat := "-"
+		if q := queries.Load(); q > 0 {
+			meanLat = durUS(time.Duration(latNS.Load() / q))
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(bs),
+			fmt.Sprint(batches),
+			dur(wall),
+			f(float64(len(events)) / wall.Seconds()),
+			fmt.Sprint(queries.Load()),
+			meanLat,
+			fmt.Sprint(st.Clusters - 1 + st.StructRebuilds),
+		})
+	}
+	return tbl, nil
+}
+
+// streamingPublishCost isolates the per-version cost of making factors
+// servable. For each strategy it runs the identical ingest three ways:
+//
+//   - hot: the streaming publish path as shipped — a version bump under
+//     the write lock, zero factor copies;
+//   - clone-publish: the same stream with a deep clone per publish (what
+//     the publish path would cost if it still copied like RetainFactors);
+//   - retain: the offline pipeline with RetainFactors, for reference.
+//
+// "copy removed" = clone-publish − hot is exactly the per-version deep
+// copy the hot-publish refactor eliminated; "hot" matching the
+// copy-free profile (allocs_per_op/bytes_per_op) is the zero-copy
+// assertion the CI artifact tracks.
+func streamingPublishCost(egs *graph.EGS, initial *graph.Graph, deriver graph.Deriver, d Datasets) (*Table, error) {
+	batches := graph.DeltaBatches(egs)
+	ems := graph.DeriveEMS(egs, deriver)
+	tbl := &Table{
+		Title: fmt.Sprintf("Publish path per version: hot-publish vs clone-per-publish vs offline RetainFactors (T=%d, n=%d)",
+			egs.Len(), egs.N()),
+		Header: []string{"alg", "hot allocs", "hot KB", "clone-pub allocs", "clone-pub KB", "copy removed KB", "retain KB"},
+	}
+	ingest := func(alg core.Algorithm, onPublish func(uint64, *lu.Solver)) (uint64, uint64, error) {
+		published := 0
+		allocs, bytes, err := measureAllocs(func() error {
+			stream, err := core.NewStream(core.StreamConfig{
+				Algorithm: alg, Alpha: 0.95, Initial: initial, Derive: deriver,
+				OnPublish: func(v uint64, s *lu.Solver) {
+					published++
+					if onPublish != nil {
+						onPublish(v, s)
+					}
+				},
+			})
+			if err != nil {
+				return err
+			}
+			defer stream.Close()
+			for _, b := range batches {
+				if _, err := stream.Apply(b); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil && published != egs.Len() {
+			err = fmt.Errorf("bench: %s published %d versions, want %d", alg, published, egs.Len())
+		}
+		return allocs, bytes, err
+	}
+	for _, alg := range []core.Algorithm{core.INC, core.CINC, core.CLUDE} {
+		hotAllocs, hotBytes, err := ingest(alg, nil)
+		if err != nil {
+			return nil, err
+		}
+		var sink lu.Factors
+		cloneAllocs, cloneBytes, err := ingest(alg, func(_ uint64, s *lu.Solver) { sink = s.F.Clone() })
+		if err != nil {
+			return nil, err
+		}
+		_ = sink
+
+		retainOpts := core.Options{Alpha: 0.95, Workers: 1, RetainFactors: true, OnFactors: func(int, *lu.Solver) {}}
+		_, retainBytes, err := measureAllocs(func() error {
+			_, err := core.Run(ems, alg, retainOpts)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		T := float64(egs.Len())
+		tbl.Rows = append(tbl.Rows, []string{
+			string(alg),
+			f(float64(hotAllocs) / T),
+			f(float64(hotBytes) / T / 1024),
+			f(float64(cloneAllocs) / T),
+			f(float64(cloneBytes) / T / 1024),
+			f(float64(int64(cloneBytes)-int64(hotBytes)) / T / 1024),
+			f(float64(retainBytes) / T / 1024),
+		})
+	}
+	return tbl, nil
+}
+
+// measureAllocs runs f on a quiesced heap and returns the allocation
+// deltas it caused (same technique as RunMeasured, scoped to one phase).
+func measureAllocs(f func() error) (allocs, bytes uint64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	err = f()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
+}

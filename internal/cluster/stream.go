@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Tracker maintains α-cluster membership incrementally, one pattern at
+// a time — the streaming twin of Alpha. Where the offline pass scans a
+// complete pattern sequence, the tracker is fed matrices as they arrive
+// from the delta pipeline and answers, in O(|pattern|) per step, whether
+// the newest matrix extends the current cluster or opens a new one.
+//
+// The admission rule is exactly Algorithm 1's: a pattern joins while
+// mes(A∩, A∪) ≥ α over the would-be bounding patterns. Feeding the
+// tracker the same sequence Alpha saw therefore reproduces Alpha's
+// cluster boundaries and unions verbatim (the stream_test property),
+// which is what lets the streaming engine make per-batch decisions
+// without ever re-clustering the history.
+type Tracker struct {
+	alpha        float64
+	start, end   int // current cluster [start, end) in admission order
+	inter, union *sparse.Pattern
+	clusters     int
+}
+
+// NewTracker returns an empty tracker with similarity threshold alpha.
+func NewTracker(alpha float64) *Tracker {
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("cluster: alpha %v outside [0,1]", alpha))
+	}
+	return &Tracker{alpha: alpha}
+}
+
+// Admit feeds the next pattern and reports whether it extended the
+// current cluster. The first pattern (and every pattern whose admission
+// would break the α bound) starts a new cluster and returns false.
+func (t *Tracker) Admit(p *sparse.Pattern) bool {
+	if t.union == nil {
+		t.start, t.end = t.end, t.end+1
+		t.inter, t.union = p, p
+		t.clusters++
+		return false
+	}
+	ni := t.inter.Intersect(p)
+	nu := t.union.Union(p)
+	if sparse.MES(ni, nu) >= t.alpha {
+		t.inter, t.union = ni, nu
+		t.end++
+		return true
+	}
+	t.start, t.end = t.end, t.end+1
+	t.inter, t.union = p, p
+	t.clusters++
+	return false
+}
+
+// Cluster returns the current cluster's [start, end) admission-index
+// range and union pattern. It panics before the first Admit.
+func (t *Tracker) Cluster() Cluster {
+	if t.union == nil {
+		panic("cluster: Tracker.Cluster before first Admit")
+	}
+	return Cluster{Start: t.start, End: t.end, Union: t.union}
+}
+
+// Union returns the current cluster's union pattern sp(A∪) (nil before
+// the first Admit).
+func (t *Tracker) Union() *sparse.Pattern { return t.union }
+
+// Len returns the current cluster's member count.
+func (t *Tracker) Len() int { return t.end - t.start }
+
+// Clusters returns how many clusters have been opened so far.
+func (t *Tracker) Clusters() int { return t.clusters }

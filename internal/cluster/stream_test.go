@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// randomPatterns builds a drifting pattern sequence: each step flips a
+// few positions of its predecessor, so runs of similar patterns occur.
+func randomPatterns(rng *xrand.Rand, n, T, flips int) []*sparse.Pattern {
+	coords := map[sparse.Coord]struct{}{}
+	for i := 0; i < n; i++ {
+		coords[sparse.Coord{Row: i, Col: i}] = struct{}{}
+	}
+	for k := 0; k < 4*n; k++ {
+		coords[sparse.Coord{Row: rng.Intn(n), Col: rng.Intn(n)}] = struct{}{}
+	}
+	mk := func() *sparse.Pattern {
+		cs := make([]sparse.Coord, 0, len(coords))
+		for c := range coords {
+			cs = append(cs, c)
+		}
+		return sparse.NewPattern(n, cs)
+	}
+	out := []*sparse.Pattern{mk()}
+	for t := 1; t < T; t++ {
+		for f := 0; f < flips; f++ {
+			c := sparse.Coord{Row: rng.Intn(n), Col: rng.Intn(n)}
+			if c.Row == c.Col {
+				continue // keep the diagonal
+			}
+			if _, ok := coords[c]; ok {
+				delete(coords, c)
+			} else {
+				coords[c] = struct{}{}
+			}
+		}
+		out = append(out, mk())
+	}
+	return out
+}
+
+// TestTrackerMatchesAlpha is the incremental-maintenance property: the
+// online tracker fed one pattern at a time reproduces the offline
+// Alpha clustering exactly — boundaries and unions.
+func TestTrackerMatchesAlpha(t *testing.T) {
+	rng := xrand.New(99)
+	for _, alpha := range []float64{0, 0.5, 0.9, 0.97, 1} {
+		pats := randomPatterns(rng, 40, 30, 6)
+		want := Alpha(pats, alpha)
+
+		// Feed the tracker one pattern at a time, recording each cluster
+		// the moment its successor opens.
+		tr := NewTracker(alpha)
+		var got []Cluster
+		var prev Cluster
+		for i, p := range pats {
+			extended := tr.Admit(p)
+			if i > 0 && !extended {
+				got = append(got, prev)
+			}
+			prev = tr.Cluster()
+		}
+		got = append(got, prev)
+
+		if len(got) != len(want) {
+			t.Fatalf("alpha=%v: %d clusters, want %d", alpha, len(got), len(want))
+		}
+		for k := range want {
+			if got[k].Start != want[k].Start || got[k].End != want[k].End {
+				t.Fatalf("alpha=%v cluster %d: [%d,%d) want [%d,%d)",
+					alpha, k, got[k].Start, got[k].End, want[k].Start, want[k].End)
+			}
+			if !got[k].Union.Equal(want[k].Union) {
+				t.Fatalf("alpha=%v cluster %d: union differs from Alpha's", alpha, k)
+			}
+		}
+		if tr.Clusters() != len(want) {
+			t.Fatalf("alpha=%v: Clusters()=%d, want %d", alpha, tr.Clusters(), len(want))
+		}
+	}
+}
+
+func TestTrackerEdges(t *testing.T) {
+	tr := NewTracker(0.9)
+	if tr.Union() != nil {
+		t.Fatal("fresh tracker has a union")
+	}
+	p := sparse.NewPattern(3, []sparse.Coord{{Row: 0, Col: 0}, {Row: 1, Col: 1}, {Row: 2, Col: 2}})
+	if tr.Admit(p) {
+		t.Fatal("first pattern reported as extension")
+	}
+	if !tr.Admit(p) {
+		t.Fatal("identical pattern must extend (mes=1)")
+	}
+	if c := tr.Cluster(); c.Start != 0 || c.End != 2 || tr.Len() != 2 {
+		t.Fatalf("cluster %+v after two identical admissions", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTracker accepted alpha out of range")
+		}
+	}()
+	NewTracker(1.5)
+}

@@ -51,4 +51,21 @@
 // Result.Wall remains wall-clock. Sequential runs (Workers == 1) keep
 // the two views identical up to scheduling noise, matching the
 // figures of the paper.
+//
+// # Streaming execution
+//
+// Run consumes a pre-materialized sequence; Stream (stream.go) consumes
+// a live feed of edge-delta batches — the deployment the paper
+// motivates. Each applied batch yields one factor version, maintained
+// by the same four strategies in online form (incremental α-cluster
+// tracking, evolving-union USSP for CLUDE) and hot-published by
+// reference under a reader/writer lock instead of cloned: a serving
+// layer reads the current factors in place via View (see
+// serve.Engine.AttachLive). Batcher groups a raw event feed into
+// versioned batches; Replay re-expresses the offline sequence shape as
+// an adapter over the stream by diffing consecutive snapshots into
+// delta batches, with the same OnFactors ordering contract as Run.
+// Streaming a delta feed and replaying its materialized snapshots
+// produce bit-identical factors (see stream_test.go); details in
+// docs/STREAMING.md.
 package core

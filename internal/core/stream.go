@@ -1,0 +1,513 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bennett"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// This file is the streaming execution engine: where Run consumes a
+// fully pre-materialized matrix sequence, Stream consumes a live feed
+// of edge-delta batches and keeps LU factors current as the graph
+// evolves — the deployment the paper actually motivates. Each applied
+// batch produces one factor *version*; versions are hot-published by
+// reference (freeze-on-publish under a reader/writer lock) instead of
+// deep-cloned, so the update loop never pays an O(nnz) copy per batch.
+//
+//	edge events ──▶ Batcher ──▶ Stream.Apply ──▶ strategy step ──▶ publish
+//	                (grouping)   (graph.Builder,   (Bennett update      (version++,
+//	                              Deriver)          or cluster restart)  live view)
+//
+// The four strategies are re-expressed online:
+//
+//   - BF re-orders and re-factorizes every version (the baseline).
+//   - INC keeps one dynamic container for the whole stream, ordered by
+//     the initial matrix, advanced by Bennett updates.
+//   - CINC tracks α-cluster membership incrementally (cluster.Tracker);
+//     while a batch's matrix extends the cluster the dynamic container
+//     absorbs the delta, otherwise a fresh cluster opens.
+//   - CLUDE additionally maintains a static USSP container built from
+//     the *running* cluster union. A member whose pattern stays inside
+//     the union at the last (re)build updates in place (Theorem 1
+//     guarantees coverage); a member that grows the union triggers a
+//     structure rebuild from the grown union (counted in
+//     StreamStats.StructRebuilds). This is the online face of CLUDE:
+//     the offline variant orders by the retrospective union of a closed
+//     cluster, which a live engine cannot know.
+//
+// The offline sequence pipeline is re-expressed on top: Replay diffs
+// consecutive snapshots of an EGS into delta batches and feeds them
+// through a Stream, preserving the OnFactors emission order contract.
+
+// ErrStreamClosed reports an Apply on a closed stream.
+var ErrStreamClosed = errors.New("core: stream closed")
+
+// StreamConfig configures a live streaming engine.
+type StreamConfig struct {
+	// Algorithm is the maintenance strategy (BF, INC, CINC or CLUDE).
+	Algorithm Algorithm
+	// Alpha is the α-clustering threshold for CINC/CLUDE.
+	Alpha float64
+	// Initial is the version-0 graph the stream starts from (required;
+	// use an edgeless graph to start cold).
+	Initial *graph.Graph
+	// Derive turns each graph state into the matrix whose factors the
+	// stream maintains (required).
+	Derive graph.Deriver
+	// OnPublish, when non-nil, is invoked after every version is
+	// committed (including version 0 during NewStream) while the
+	// stream's update lock is held: the solver is frozen for the
+	// duration of the callback and updated in place afterwards, exactly
+	// like Options.OnFactors without RetainFactors. Callers that retain
+	// must Clone; callers that serve live traffic should instead read
+	// through View and leave this callback for notifications and
+	// checkpointing. The callback must not call back into the Stream.
+	OnPublish func(version uint64, s *lu.Solver)
+}
+
+// StreamStats is a point-in-time snapshot of a stream's counters.
+type StreamStats struct {
+	Version       uint64 `json:"version"`
+	Batches       int    `json:"batches"`
+	Events        int    `json:"events"`
+	EventsApplied int    `json:"events_applied"` // events that changed the edge set
+	Clusters      int    `json:"clusters"`       // clusters opened (BF: one per version)
+	// StructRebuilds counts CLUDE structure rebuilds forced by cluster
+	// members growing the running union past the current USSP.
+	StructRebuilds int `json:"struct_rebuilds"`
+	// Refactorizations counts numerical fallbacks (failed Bennett
+	// updates answered by a full refactorization in the same ordering).
+	Refactorizations int `json:"refactorizations"`
+
+	Bennett          bennett.Stats `json:"-"`
+	DynamicInserts   int           `json:"dynamic_inserts"`
+	DynamicScanSteps int           `json:"dynamic_scan_steps"`
+}
+
+// Stream maintains LU factors of a deriver's matrix over a live edge
+// stream. All methods are safe for concurrent use: Apply serializes
+// writers, View/Version/Stats take the read side, so a serving layer
+// reads the latest factors lock-cheap while batches commit between
+// queries.
+type Stream struct {
+	cfg StreamConfig
+
+	mu      sync.RWMutex
+	closed  bool
+	version uint64
+	builder *graph.Builder
+	tracker *cluster.Tracker // CINC/CLUDE membership
+
+	ord         sparse.Ordering
+	colInv      sparse.Perm
+	static      *lu.StaticFactors
+	dyn         *lu.DynamicFactors // INC/CINC container; nil for BF/CLUDE
+	solver      *lu.Solver
+	prev        *sparse.CSR     // current matrix in the current ordering
+	structUnion *sparse.Pattern // CLUDE: union the current USSP was built from
+
+	luWS  lu.Workspace
+	benWS bennett.Workspace
+
+	stats                   StreamStats
+	retiredIns, retiredScan int // counters of retired dynamic containers
+}
+
+// NewStream factors the initial graph (version 0) and returns a ready
+// stream. Version 0 is published before NewStream returns.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	switch cfg.Algorithm {
+	case BF, INC, CINC, CLUDE:
+	default:
+		return nil, fmt.Errorf("core: unknown streaming algorithm %q", cfg.Algorithm)
+	}
+	if cfg.Initial == nil || cfg.Derive == nil {
+		return nil, errors.New("core: StreamConfig needs Initial and Derive")
+	}
+	s := &Stream{cfg: cfg, builder: graph.NewBuilderFrom(cfg.Initial)}
+	if cfg.Algorithm == CINC || cfg.Algorithm == CLUDE {
+		if cfg.Alpha < 0 || cfg.Alpha > 1 {
+			return nil, fmt.Errorf("core: alpha %v outside [0,1]", cfg.Alpha)
+		}
+		s.tracker = cluster.NewTracker(cfg.Alpha)
+	}
+	a := cfg.Derive(cfg.Initial)
+	if s.tracker != nil {
+		s.tracker.Admit(a.Pattern())
+	}
+	s.stats.Clusters = 1
+	if err := s.rebuild(a, a.Pattern()); err != nil {
+		return nil, fmt.Errorf("core: %s initial factorization: %w", cfg.Algorithm, err)
+	}
+	s.publishLocked()
+	return s, nil
+}
+
+// Apply commits one delta batch: the events advance the live graph, the
+// strategy brings the factors to the new state, and the result is
+// published as the next version. A failed batch (malformed events or an
+// unrecoverable factorization error) leaves the version unchanged.
+// Empty batches are legal and publish a new version over an unchanged
+// matrix. Apply blocks while queries hold the read side (View) — that
+// is the engine's natural backpressure.
+func (s *Stream) Apply(events []graph.EdgeEvent) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrStreamClosed
+	}
+	applied, err := s.builder.ApplyBatch(events)
+	if err != nil {
+		return 0, err
+	}
+	s.stats.Batches++
+	s.stats.Events += len(events)
+	s.stats.EventsApplied += applied
+	cur := s.cfg.Derive(s.builder.Graph())
+	if err := s.step(cur); err != nil {
+		return 0, err
+	}
+	s.version++
+	s.stats.Version = s.version
+	s.publishLocked()
+	return s.version, nil
+}
+
+// step routes the new matrix through the configured strategy.
+func (s *Stream) step(cur *sparse.CSR) error {
+	pat := cur.Pattern()
+	switch s.cfg.Algorithm {
+	case BF:
+		s.stats.Clusters++
+		return s.rebuild(cur, pat)
+	case INC:
+		return s.update(cur)
+	case CINC:
+		if s.tracker.Admit(pat) {
+			return s.update(cur)
+		}
+		s.stats.Clusters++
+		return s.rebuild(cur, pat)
+	case CLUDE:
+		if !s.tracker.Admit(pat) {
+			s.stats.Clusters++
+			return s.rebuild(cur, s.tracker.Union())
+		}
+		if !pat.Subset(s.structUnion) {
+			// The member grew the cluster union past the USSP the static
+			// container was built from: re-derive the ordering from the
+			// grown union and refactorize into the larger structure.
+			s.stats.StructRebuilds++
+			return s.rebuild(cur, s.tracker.Union())
+		}
+		return s.update(cur)
+	}
+	panic("core: unreachable")
+}
+
+// rebuild opens fresh factors for cur: ordering from pat (cur's own
+// pattern, or the running cluster union for CLUDE), symbolic + full
+// numeric decomposition, and a fresh Solver (the old one stays valid
+// for retained clones but is never mutated again).
+func (s *Stream) rebuild(cur *sparse.CSR, pat *sparse.Pattern) error {
+	r := order.Markowitz(pat)
+	s.ord = r.Ordering
+	s.colInv = s.ord.Col.Inverse()
+	first := cur.PermuteInv(s.ord, s.colInv)
+	var sym *lu.SymbolicLU
+	if s.cfg.Algorithm == CLUDE {
+		sym = lu.Symbolic(pat.Permute(s.ord))
+		s.structUnion = pat
+	} else {
+		sym = lu.Symbolic(first.Pattern())
+	}
+	s.static = lu.NewStaticFactors(sym)
+	if err := s.static.FactorizeWith(first, &s.luWS); err != nil {
+		return fmt.Errorf("core: %s version %d: %w", s.cfg.Algorithm, s.version+1, err)
+	}
+	s.retireDyn()
+	var fac lu.Factors = s.static
+	if s.cfg.Algorithm == INC || s.cfg.Algorithm == CINC {
+		s.dyn = lu.NewDynamicFactors(s.static)
+		fac = s.dyn
+	}
+	s.solver = &lu.Solver{F: fac, O: s.ord}
+	s.prev = first
+	return nil
+}
+
+// update advances the current container by the Bennett delta from the
+// previous matrix, falling back to a full refactorization in the same
+// ordering when the update fails numerically (mirroring the offline
+// engine's refactorInPlace).
+func (s *Stream) update(cur *sparse.CSR) error {
+	curP := cur.PermuteInv(s.ord, s.colInv)
+	delta := sparse.Delta(s.prev, curP)
+	var err error
+	if s.dyn != nil {
+		err = s.benWS.UpdateDynamic(s.dyn, delta, &s.stats.Bennett)
+	} else {
+		err = s.benWS.UpdateStatic(s.static, delta, &s.stats.Bennett)
+	}
+	if err != nil {
+		s.stats.Refactorizations++
+		if s.dyn == nil {
+			// The USSP still covers curP; refill the same container.
+			if ferr := s.static.FactorizeWith(curP, &s.luWS); ferr != nil {
+				return fmt.Errorf("core: %s version %d: update %v; refactorization %w", s.cfg.Algorithm, s.version+1, err, ferr)
+			}
+		} else {
+			st := lu.NewStaticFactors(lu.Symbolic(curP.Pattern()))
+			if ferr := st.FactorizeWith(curP, &s.luWS); ferr != nil {
+				return fmt.Errorf("core: %s version %d: update %v; refactorization %w", s.cfg.Algorithm, s.version+1, err, ferr)
+			}
+			s.retireDyn()
+			s.dyn = lu.NewDynamicFactors(st)
+			// The factor container changed identity, so the sparse solve
+			// path's per-solver caches must not survive: fresh Solver.
+			s.solver = &lu.Solver{F: s.dyn, O: s.ord}
+		}
+	}
+	s.prev = curP
+	return nil
+}
+
+// retireDyn folds a replaced dynamic container's restructuring counters
+// into the stream totals.
+func (s *Stream) retireDyn() {
+	if s.dyn != nil {
+		s.retiredIns += s.dyn.Inserts
+		s.retiredScan += s.dyn.ScanSteps
+		s.dyn = nil
+	}
+}
+
+// publishLocked fires OnPublish for the current version. Callers hold
+// the write lock, so the solver is frozen for the callback's duration.
+func (s *Stream) publishLocked() {
+	if s.cfg.OnPublish != nil {
+		s.cfg.OnPublish(s.version, s.solver)
+	}
+}
+
+// View runs fn with the latest published version and its solver while
+// holding the stream's read lock: the factors cannot advance while fn
+// runs, so solves inside fn read a frozen, consistent state with zero
+// copying. fn must not retain the solver past its return (Clone to
+// retain) and must not call back into the stream. It returns false
+// (without calling fn) only when the stream has no published state.
+// This is the hot-publish path the serving layer attaches to.
+func (s *Stream) View(fn func(version uint64, sv *lu.Solver)) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.solver == nil {
+		return false
+	}
+	fn(s.version, s.solver)
+	return true
+}
+
+// Version returns the latest published version.
+func (s *Stream) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// N returns the vertex count of the streamed graph.
+func (s *Stream) N() int { return s.builder.N() }
+
+// Stats returns a snapshot of the stream's counters.
+func (s *Stream) Stats() StreamStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.stats
+	st.DynamicInserts = s.retiredIns
+	st.DynamicScanSteps = s.retiredScan
+	if s.dyn != nil {
+		st.DynamicInserts += s.dyn.Inserts
+		st.DynamicScanSteps += s.dyn.ScanSteps
+	}
+	return st
+}
+
+// Close marks the stream closed: further Apply calls fail with
+// ErrStreamClosed, while View keeps serving the last published version
+// (a drained server can keep answering queries after ingestion stops).
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Batcher groups a live event feed into versioned batches: events
+// accumulate until the batch size cap or the linger delay is reached,
+// then commit through Stream.Apply as one batch. One Batcher serializes
+// its feed; concurrent Send calls are safe.
+type Batcher struct {
+	s     *Stream
+	max   int
+	delay time.Duration
+
+	mu      sync.Mutex
+	pending []graph.EdgeEvent
+	timer   *time.Timer
+	closed  bool
+	err     error // first deferred (timer-flush) error, returned by the next call
+}
+
+// NewBatcher returns a batcher committing to s after maxEvents pending
+// events (<= 0 means 256) or maxDelay of lingering (<= 0 disables the
+// timer: flushes happen only on size or explicitly).
+func (s *Stream) NewBatcher(maxEvents int, maxDelay time.Duration) *Batcher {
+	if maxEvents <= 0 {
+		maxEvents = 256
+	}
+	return &Batcher{s: s, max: maxEvents, delay: maxDelay}
+}
+
+// Send enqueues events, committing inline when the batch size cap is
+// reached. The returned error is the inline commit's (or a deferred
+// timer-flush error from an earlier batch, surfaced here).
+func (b *Batcher) Send(events ...graph.EdgeEvent) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrStreamClosed
+	}
+	if err := b.takeErr(); err != nil {
+		return err
+	}
+	b.pending = append(b.pending, events...)
+	if len(b.pending) >= b.max {
+		return b.flushLocked()
+	}
+	if b.timer == nil && b.delay > 0 && len(b.pending) > 0 {
+		b.timer = time.AfterFunc(b.delay, b.timerFlush)
+	}
+	return nil
+}
+
+// Flush commits any pending events immediately and returns the stream's
+// resulting version.
+func (b *Batcher) Flush() (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return b.s.Version(), ErrStreamClosed
+	}
+	err := b.takeErr()
+	if ferr := b.flushLocked(); err == nil {
+		err = ferr
+	}
+	return b.s.Version(), err
+}
+
+// Pending returns the number of events waiting for the next commit.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// Close drains pending events into one final batch and stops the
+// batcher; further Send/Flush calls fail with ErrStreamClosed. This is
+// the ingest-queue half of a graceful shutdown.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	err := b.takeErr()
+	if ferr := b.flushLocked(); err == nil {
+		err = ferr
+	}
+	b.closed = true
+	return err
+}
+
+// takeErr returns and clears the deferred timer-flush error.
+func (b *Batcher) takeErr() error {
+	err := b.err
+	b.err = nil
+	return err
+}
+
+// timerFlush is the linger-delay commit.
+func (b *Batcher) timerFlush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if err := b.flushLocked(); err != nil && b.err == nil {
+		b.err = err
+	}
+}
+
+// flushLocked commits the pending batch. Callers hold b.mu; the commit
+// itself blocks on the stream's write lock, which is the backpressure
+// path from in-flight queries to the feed.
+func (b *Batcher) flushLocked() error {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.pending) == 0 {
+		return nil
+	}
+	evs := b.pending
+	b.pending = nil
+	_, err := b.s.Apply(evs)
+	return err
+}
+
+// ReplayOptions configures Replay, mirroring the Options fields that
+// make sense for the sequential streaming engine.
+type ReplayOptions struct {
+	// Alpha is the α-clustering threshold for CINC/CLUDE.
+	Alpha float64
+	// OnFactors receives every version in order, i = 0..T-1, with the
+	// same validity contract as Options.OnFactors.
+	OnFactors func(i int, s *lu.Solver)
+	// RetainFactors hands OnFactors a deep clone, valid indefinitely.
+	RetainFactors bool
+}
+
+// Replay re-expresses the offline sequence pipeline over the streaming
+// engine: snapshot 0 seeds a Stream and every consecutive snapshot pair
+// is diffed into one delta batch, so a pre-materialized EGS and a live
+// feed of the same deltas drive the engine through the identical code
+// path (the bit-for-bit equivalence property stream_test pins down).
+// OnFactors fires strictly in snapshot order.
+func Replay(egs *graph.EGS, derive graph.Deriver, alg Algorithm, opt ReplayOptions) (StreamStats, error) {
+	cfg := StreamConfig{Algorithm: alg, Alpha: opt.Alpha, Initial: egs.Snapshots[0], Derive: derive}
+	if opt.OnFactors != nil {
+		cfg.OnPublish = func(v uint64, sv *lu.Solver) {
+			if opt.RetainFactors {
+				sv = sv.Clone()
+			}
+			opt.OnFactors(int(v), sv)
+		}
+	}
+	st, err := NewStream(cfg)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	defer st.Close()
+	for t := 1; t < egs.Len(); t++ {
+		if _, err := st.Apply(graph.Diff(egs.Snapshots[t-1], egs.Snapshots[t])); err != nil {
+			return st.Stats(), fmt.Errorf("core: replay snapshot %d: %w", t, err)
+		}
+	}
+	return st.Stats(), nil
+}

@@ -1,0 +1,253 @@
+package graph
+
+import "fmt"
+
+// This file is the edge-delta substrate of the streaming engine: the
+// event vocabulary (EdgeEvent), a mutable graph accumulator that applies
+// events (Builder), and the diff that turns a pair of snapshots into the
+// event batch transforming one into the other. Snapshots are thereby a
+// *derived* view: the native input of the pipeline is the event stream,
+// and a pre-materialized EGS is replayed by diffing consecutive
+// snapshots (see core.Replay).
+
+// EdgeOp is the kind of an edge event.
+type EdgeOp uint8
+
+// The event vocabulary. The snapshot substrate is unweighted, so
+// EdgeUpdate — a weight refresh on the wire — degenerates to an
+// idempotent upsert: it inserts the edge when absent and is a no-op
+// otherwise. It exists so feeds produced for weighted derivers keep a
+// distinct opcode instead of overloading EdgeInsert.
+const (
+	EdgeInsert EdgeOp = iota // add the edge (no-op when present)
+	EdgeDelete               // remove the edge (no-op when absent)
+	EdgeUpdate               // assert the edge (insert when absent)
+)
+
+// String renders the op in the wire form used by the delta text format
+// and the ingest API: "+", "-", "~".
+func (op EdgeOp) String() string {
+	switch op {
+	case EdgeInsert:
+		return "+"
+	case EdgeDelete:
+		return "-"
+	case EdgeUpdate:
+		return "~"
+	}
+	return fmt.Sprintf("EdgeOp(%d)", uint8(op))
+}
+
+// ParseEdgeOp accepts both the wire form ("+", "-", "~") and the
+// spelled-out form ("insert", "delete", "update") of an edge op.
+func ParseEdgeOp(s string) (EdgeOp, error) {
+	switch s {
+	case "+", "insert":
+		return EdgeInsert, nil
+	case "-", "delete":
+		return EdgeDelete, nil
+	case "~", "update":
+		return EdgeUpdate, nil
+	}
+	return 0, fmt.Errorf("graph: unknown edge op %q", s)
+}
+
+// EdgeEvent is one edge change. For undirected graphs the endpoint
+// order is irrelevant (events are canonicalized on application).
+type EdgeEvent struct {
+	From, To int
+	Op       EdgeOp
+}
+
+// Builder is a mutable graph accumulator: the live adjacency state of a
+// streaming engine, advanced one edge event at a time and materialized
+// into immutable snapshots on demand. Undirected builders store each
+// edge once in canonical (min, max) orientation, mirroring Graph.
+type Builder struct {
+	n        int
+	directed bool
+	adj      []map[int]struct{} // adj[u] = out-neighbours (canonical for undirected)
+	edges    int
+}
+
+// NewBuilder returns an empty builder on n vertices.
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{n: n, directed: directed, adj: make([]map[int]struct{}, n)}
+}
+
+// NewBuilderFrom seeds a builder with a snapshot's edge set.
+func NewBuilderFrom(g *Graph) *Builder {
+	b := NewBuilder(g.N(), g.Directed())
+	for _, e := range g.Edges() {
+		b.put(e.From, e.To)
+	}
+	return b
+}
+
+// N returns the vertex count.
+func (b *Builder) N() int { return b.n }
+
+// Directed reports whether the builder accumulates a directed graph.
+func (b *Builder) Directed() bool { return b.directed }
+
+// NumEdges returns the current edge count (undirected edges counted
+// once).
+func (b *Builder) NumEdges() int { return b.edges }
+
+// canon maps an endpoint pair to storage orientation.
+func (b *Builder) canon(u, v int) (int, int) {
+	if !b.directed && v < u {
+		return v, u
+	}
+	return u, v
+}
+
+// Has reports whether the edge (u, v) is currently present.
+func (b *Builder) Has(u, v int) bool {
+	u, v = b.canon(u, v)
+	if b.adj[u] == nil {
+		return false
+	}
+	_, ok := b.adj[u][v]
+	return ok
+}
+
+func (b *Builder) put(u, v int) bool {
+	u, v = b.canon(u, v)
+	if b.adj[u] == nil {
+		b.adj[u] = make(map[int]struct{})
+	}
+	if _, ok := b.adj[u][v]; ok {
+		return false
+	}
+	b.adj[u][v] = struct{}{}
+	b.edges++
+	return true
+}
+
+func (b *Builder) del(u, v int) bool {
+	u, v = b.canon(u, v)
+	if b.adj[u] == nil {
+		return false
+	}
+	if _, ok := b.adj[u][v]; !ok {
+		return false
+	}
+	delete(b.adj[u], v)
+	b.edges--
+	return true
+}
+
+// check validates an event's endpoints. Self-loops are legal input but
+// never stored (Graph drops them too), so they are reported as
+// applicable no-ops rather than errors.
+func (b *Builder) check(ev EdgeEvent) error {
+	if ev.From < 0 || ev.From >= b.n || ev.To < 0 || ev.To >= b.n {
+		return fmt.Errorf("graph: event %v (%d,%d) out of range [0,%d)", ev.Op, ev.From, ev.To, b.n)
+	}
+	switch ev.Op {
+	case EdgeInsert, EdgeDelete, EdgeUpdate:
+		return nil
+	}
+	return fmt.Errorf("graph: event (%d,%d) has unknown op %d", ev.From, ev.To, uint8(ev.Op))
+}
+
+// Apply advances the builder by one event and reports whether the edge
+// set actually changed (inserting a present edge, deleting an absent
+// one, and self-loops are no-ops). The builder is unchanged on error.
+func (b *Builder) Apply(ev EdgeEvent) (bool, error) {
+	if err := b.check(ev); err != nil {
+		return false, err
+	}
+	if ev.From == ev.To {
+		return false, nil
+	}
+	switch ev.Op {
+	case EdgeDelete:
+		return b.del(ev.From, ev.To), nil
+	default: // EdgeInsert, EdgeUpdate
+		return b.put(ev.From, ev.To), nil
+	}
+}
+
+// ApplyBatch validates every event first and then applies them in
+// order, so a malformed batch leaves the builder untouched. It returns
+// the number of events that changed the edge set.
+func (b *Builder) ApplyBatch(events []EdgeEvent) (int, error) {
+	for _, ev := range events {
+		if err := b.check(ev); err != nil {
+			return 0, err
+		}
+	}
+	changed := 0
+	for _, ev := range events {
+		if ok, _ := b.Apply(ev); ok {
+			changed++
+		}
+	}
+	return changed, nil
+}
+
+// Graph materializes the current edge set into an immutable snapshot.
+// The result is identical (ordering included) to constructing the same
+// edge set via New, so matrices derived from streamed state are
+// bit-identical to matrices derived from pre-built snapshots.
+func (b *Builder) Graph() *Graph {
+	es := make([]Edge, 0, b.edges)
+	for u := range b.adj {
+		for v := range b.adj[u] {
+			es = append(es, Edge{From: u, To: v})
+		}
+	}
+	return New(b.n, b.directed, es)
+}
+
+// Diff returns the edge events that transform prev into next: deletes
+// for edges only in prev, inserts for edges only in next, in
+// deterministic row-major order. Applying the result to a builder
+// seeded with prev yields exactly next. Both snapshots must share
+// vertex count and directedness.
+func Diff(prev, next *Graph) []EdgeEvent {
+	if prev.N() != next.N() {
+		panic(fmt.Sprintf("graph: Diff dimension mismatch %d vs %d", prev.N(), next.N()))
+	}
+	if prev.Directed() != next.Directed() {
+		panic("graph: Diff directedness mismatch")
+	}
+	var out []EdgeEvent
+	emit := func(u, v int, op EdgeOp) {
+		if prev.Directed() || u < v {
+			out = append(out, EdgeEvent{From: u, To: v, Op: op})
+		}
+	}
+	for u := 0; u < prev.N(); u++ {
+		a, b := prev.OutNeighbors(u), next.OutNeighbors(u)
+		ka, kb := 0, 0
+		for ka < len(a) || kb < len(b) {
+			switch {
+			case kb >= len(b) || (ka < len(a) && a[ka] < b[kb]):
+				emit(u, a[ka], EdgeDelete)
+				ka++
+			case ka >= len(a) || b[kb] < a[ka]:
+				emit(u, b[kb], EdgeInsert)
+				kb++
+			default:
+				ka++
+				kb++
+			}
+		}
+	}
+	return out
+}
+
+// DeltaBatches diffs the consecutive snapshots of an EGS into per-step
+// event batches: batch t-1 transforms snapshot t-1 into snapshot t
+// (length T-1). Together with the first snapshot this is the streaming
+// engine's native representation of the sequence.
+func DeltaBatches(s *EGS) [][]EdgeEvent {
+	out := make([][]EdgeEvent, 0, s.Len()-1)
+	for t := 1; t < s.Len(); t++ {
+		out = append(out, Diff(s.Snapshots[t-1], s.Snapshots[t]))
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// randomGraph builds a random snapshot with about m edges.
+func randomGraph(rng *xrand.Rand, n int, m int, directed bool) *Graph {
+	es := make([]Edge, 0, m)
+	for k := 0; k < m; k++ {
+		es = append(es, Edge{From: rng.Intn(n), To: rng.Intn(n)})
+	}
+	return New(n, directed, es)
+}
+
+// graphsEqual compares two snapshots edge-for-edge.
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.Directed() != b.Directed() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := 0; u < a.N(); u++ {
+		av, bv := a.OutNeighbors(u), b.OutNeighbors(u)
+		if len(av) != len(bv) {
+			return false
+		}
+		for k := range av {
+			if av[k] != bv[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	rng := xrand.New(42)
+	for _, directed := range []bool{false, true} {
+		prev := randomGraph(rng, 40, 120, directed)
+		for step := 0; step < 20; step++ {
+			next := randomGraph(rng, 40, 120, directed)
+			evs := Diff(prev, next)
+			b := NewBuilderFrom(prev)
+			changed, err := b.ApplyBatch(evs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if changed != len(evs) {
+				t.Fatalf("directed=%v step %d: diff emitted %d events but only %d changed the edge set",
+					directed, step, len(evs), changed)
+			}
+			if got := b.Graph(); !graphsEqual(got, next) {
+				t.Fatalf("directed=%v step %d: diff+apply did not reproduce the target snapshot", directed, step)
+			}
+			prev = next
+		}
+	}
+}
+
+func TestBuilderSemantics(t *testing.T) {
+	b := NewBuilder(5, false)
+	if ok, _ := b.Apply(EdgeEvent{From: 1, To: 3, Op: EdgeInsert}); !ok {
+		t.Fatal("fresh insert reported as no-op")
+	}
+	// Undirected canonicalization: (3,1) is the same edge.
+	if ok, _ := b.Apply(EdgeEvent{From: 3, To: 1, Op: EdgeInsert}); ok {
+		t.Fatal("duplicate insert changed the edge set")
+	}
+	if !b.Has(3, 1) || !b.Has(1, 3) {
+		t.Fatal("undirected Has must be orientation-free")
+	}
+	// Update is an idempotent upsert.
+	if ok, _ := b.Apply(EdgeEvent{From: 1, To: 3, Op: EdgeUpdate}); ok {
+		t.Fatal("update of a present edge changed the edge set")
+	}
+	if ok, _ := b.Apply(EdgeEvent{From: 2, To: 4, Op: EdgeUpdate}); !ok {
+		t.Fatal("update of an absent edge must insert")
+	}
+	// Deleting an absent edge is a no-op; self-loops never store.
+	if ok, _ := b.Apply(EdgeEvent{From: 0, To: 1, Op: EdgeDelete}); ok {
+		t.Fatal("delete of absent edge changed the edge set")
+	}
+	if ok, _ := b.Apply(EdgeEvent{From: 2, To: 2, Op: EdgeInsert}); ok {
+		t.Fatal("self-loop stored")
+	}
+	if b.NumEdges() != 2 {
+		t.Fatalf("edge count %d, want 2", b.NumEdges())
+	}
+	// Out-of-range events fail and a failing batch leaves no trace.
+	if _, err := b.Apply(EdgeEvent{From: 0, To: 9, Op: EdgeInsert}); err == nil {
+		t.Fatal("out-of-range event accepted")
+	}
+	if _, err := b.ApplyBatch([]EdgeEvent{{From: 0, To: 1, Op: EdgeInsert}, {From: -1, To: 0, Op: EdgeInsert}}); err == nil {
+		t.Fatal("malformed batch accepted")
+	}
+	if b.Has(0, 1) {
+		t.Fatal("malformed batch partially applied")
+	}
+}
+
+func TestBuilderMaterializesIdenticalGraphs(t *testing.T) {
+	// The streamed state and a New-built graph over the same edge set
+	// must be indistinguishable (the bit-identity of derived matrices
+	// rests on this).
+	rng := xrand.New(7)
+	g := randomGraph(rng, 30, 90, true)
+	if got := NewBuilderFrom(g).Graph(); !graphsEqual(got, g) {
+		t.Fatal("builder round trip differs from source snapshot")
+	}
+}
+
+func TestParseEdgeOp(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want EdgeOp
+	}{{"+", EdgeInsert}, {"insert", EdgeInsert}, {"-", EdgeDelete}, {"delete", EdgeDelete}, {"~", EdgeUpdate}, {"update", EdgeUpdate}} {
+		got, err := ParseEdgeOp(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseEdgeOp(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseEdgeOp("nope"); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+func TestDeltaIORoundTrip(t *testing.T) {
+	rng := xrand.New(11)
+	snaps := []*Graph{randomGraph(rng, 25, 60, true)}
+	for k := 1; k < 6; k++ {
+		snaps = append(snaps, randomGraph(rng, 25, 60, true))
+	}
+	egs, err := NewEGS(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := DeltaBatches(egs)
+
+	var buf bytes.Buffer
+	if err := WriteDeltas(&buf, egs.Snapshots[0], batches); err != nil {
+		t.Fatal(err)
+	}
+	initial, back, err := ReadDeltas(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(initial, egs.Snapshots[0]) {
+		t.Fatal("initial snapshot lost in round trip")
+	}
+	if len(back) != len(batches) {
+		t.Fatalf("batch count %d, want %d", len(back), len(batches))
+	}
+	// Replaying the parsed batches must reproduce every snapshot.
+	b := NewBuilderFrom(initial)
+	for i, evs := range back {
+		if _, err := b.ApplyBatch(evs); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Graph(); !graphsEqual(got, egs.Snapshots[i+1]) {
+			t.Fatalf("batch %d: replay diverged from snapshot %d", i, i+1)
+		}
+	}
+}

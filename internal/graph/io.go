@@ -20,6 +20,20 @@ import (
 //
 // WriteEGS and ReadEGS round-trip exactly.
 
+// The delta text format is the streaming twin of the EGS format: the
+// initial snapshot in full, then one event batch per step (the native
+// input of core.Stream; see cmd/egsgen -deltas):
+//
+//	egsdeltas <V> <T> <directed>
+//	init <m0>
+//	<u> <v>            (m0 edge lines)
+//	batch 1 <k1>
+//	<op> <u> <v>       (k1 event lines, op ∈ + - ~)
+//	batch 2 <k2>
+//	...
+//
+// WriteDeltas and ReadDeltas round-trip exactly.
+
 // WriteEGS serializes an EGS in the text format.
 func WriteEGS(w io.Writer, s *EGS) error {
 	bw := bufio.NewWriter(w)
@@ -103,4 +117,130 @@ func ReadEGS(r io.Reader) (*EGS, error) {
 		return nil, err
 	}
 	return NewEGS(snaps)
+}
+
+// WriteDeltas serializes an initial snapshot plus its event batches in
+// the delta text format. The header's T counts the initial snapshot
+// plus one snapshot per batch, matching the EGS the stream materializes.
+func WriteDeltas(w io.Writer, initial *Graph, batches [][]EdgeEvent) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "egsdeltas %d %d %t\n", initial.N(), len(batches)+1, initial.Directed()); err != nil {
+		return err
+	}
+	es := initial.Edges()
+	if _, err := fmt.Fprintf(bw, "init %d\n", len(es)); err != nil {
+		return err
+	}
+	for _, e := range es {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.From, e.To); err != nil {
+			return err
+		}
+	}
+	for t, evs := range batches {
+		if _, err := fmt.Fprintf(bw, "batch %d %d\n", t+1, len(evs)); err != nil {
+			return err
+		}
+		for _, ev := range evs {
+			if _, err := fmt.Fprintf(bw, "%s %d %d\n", ev.Op, ev.From, ev.To); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDeltas parses the delta text format back into the initial
+// snapshot and its event batches.
+func ReadDeltas(r io.Reader) (*Graph, [][]EdgeEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	head, ok := next()
+	if !ok {
+		return nil, nil, fmt.Errorf("graph: empty delta input")
+	}
+	var n, T int
+	var directed bool
+	if _, err := fmt.Sscanf(head, "egsdeltas %d %d %t", &n, &T, &directed); err != nil {
+		return nil, nil, fmt.Errorf("graph: bad delta header %q: %v", head, err)
+	}
+	if n <= 0 || T <= 0 {
+		return nil, nil, fmt.Errorf("graph: non-positive dimensions in header %q", head)
+	}
+	h, ok := next()
+	if !ok {
+		return nil, nil, fmt.Errorf("graph: truncated delta input before init block")
+	}
+	var m0 int
+	if _, err := fmt.Sscanf(h, "init %d", &m0); err != nil {
+		return nil, nil, fmt.Errorf("graph: line %d: bad init header %q", line, h)
+	}
+	edges := make([]Edge, 0, m0)
+	for k := 0; k < m0; k++ {
+		l, ok := next()
+		if !ok {
+			return nil, nil, fmt.Errorf("graph: truncated initial edge list")
+		}
+		parts := strings.Fields(l)
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: bad edge %q", line, l)
+		}
+		u, err1 := strconv.Atoi(parts[0])
+		v, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || u < 0 || u >= n || v < 0 || v >= n {
+			return nil, nil, fmt.Errorf("graph: line %d: bad edge %q", line, l)
+		}
+		edges = append(edges, Edge{From: u, To: v})
+	}
+	initial := New(n, directed, edges)
+	batches := make([][]EdgeEvent, 0, T-1)
+	for t := 1; t < T; t++ {
+		h, ok := next()
+		if !ok {
+			return nil, nil, fmt.Errorf("graph: truncated delta input at batch %d", t)
+		}
+		var idx, k int
+		if _, err := fmt.Sscanf(h, "batch %d %d", &idx, &k); err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad batch header %q", line, h)
+		}
+		if idx != t {
+			return nil, nil, fmt.Errorf("graph: batch %d out of order (want %d)", idx, t)
+		}
+		evs := make([]EdgeEvent, 0, k)
+		for e := 0; e < k; e++ {
+			l, ok := next()
+			if !ok {
+				return nil, nil, fmt.Errorf("graph: truncated event list in batch %d", t)
+			}
+			parts := strings.Fields(l)
+			if len(parts) != 3 {
+				return nil, nil, fmt.Errorf("graph: line %d: bad event %q", line, l)
+			}
+			op, err := ParseEdgeOp(parts[0])
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			u, err1 := strconv.Atoi(parts[1])
+			v, err2 := strconv.Atoi(parts[2])
+			if err1 != nil || err2 != nil || u < 0 || u >= n || v < 0 || v >= n {
+				return nil, nil, fmt.Errorf("graph: line %d: bad event %q", line, l)
+			}
+			evs = append(evs, EdgeEvent{From: u, To: v, Op: op})
+		}
+		batches = append(batches, evs)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return initial, batches, nil
 }

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"repro/internal/lu"
+)
+
+// This file is the hot-publish half of the serving layer: instead of
+// pinning per-snapshot deep clones (Pin + core.Options.RetainFactors),
+// an Engine can attach a *live source* — a streaming maintenance engine
+// (core.Stream) that updates one set of factors in place and exposes
+// them through a read-locked view. Queries for the latest state then
+// solve directly on the maintainer's current factors:
+//
+//	core.Stream ──Apply──▶ factors (in place) ──View──▶ serve workers
+//	              write lock                   read lock
+//
+// No factor bytes are copied on the publish path — publishing a version
+// is a counter bump under the stream's write lock. The price is
+// coupling: a query holding the view blocks the next batch commit
+// (backpressure), and a committing batch briefly blocks latest-state
+// queries. Snapshot-addressed queries are unaffected: they go to the
+// pinned store, which a checkpointing publish callback can still feed
+// at whatever cadence is worth the clone cost (see docs/STREAMING.md).
+
+// LiveSource is the read side of a streaming factor maintainer. View
+// runs fn with the latest published version and its solver while
+// holding the source's read lock, guaranteeing the factors do not
+// advance during fn; it returns false (fn not called) when the source
+// has nothing published. core.Stream implements this.
+type LiveSource interface {
+	View(fn func(version uint64, s *lu.Solver)) bool
+}
+
+// AttachLive routes latest-state queries (Snapshot < 0) to src. Attach
+// before serving traffic, or mid-flight: queries observe the source on
+// their next dispatch. Attaching nil detaches, restoring pure
+// pinned-store serving. Every attach bumps the live cache-key
+// generation, so a replacement source — whose version counter starts
+// over — can never be served answers cached from its predecessor.
+func (e *Engine) AttachLive(src LiveSource) {
+	e.mu.Lock()
+	e.live = src
+	e.liveGen++
+	e.mu.Unlock()
+}
+
+// liveSource reads the attached source and its attach generation. The
+// lock is released before the caller touches the source (see the field
+// comment on lock ordering).
+func (e *Engine) liveSource() (LiveSource, uint64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.live, e.liveGen
+}
+
+// CheckpointEvery returns a publish callback (the core.StreamConfig
+// OnPublish shape) that pins a deep clone of every k-th version into
+// the snapshot store, keyed by version. This is the deliberate,
+// amortized exception to the zero-copy publish path: the live head
+// stays copy-free while every k-th state becomes queryable history,
+// subject to the store's usual bound and eviction. k = 0 is treated
+// as 1 (checkpoint every version — the old RetainFactors behavior).
+func (e *Engine) CheckpointEvery(k uint64) func(version uint64, s *lu.Solver) {
+	if k == 0 {
+		k = 1
+	}
+	return func(version uint64, s *lu.Solver) {
+		if version%k == 0 {
+			e.Pin(int(version), s.Clone())
+		}
+	}
+}
+
+// answerLive serves q from the attached live source. served reports
+// whether the live path handled the query: false means no source is
+// attached (or it has nothing published) and the caller should fall
+// back to the pinned store. Cache keys carry the live version, so a
+// committed batch naturally invalidates every cached live answer —
+// stale entries are unreachable and age out of the LRU.
+func (e *Engine) answerLive(q Query, damping float64, w *workerScratch) (resp *Response, err error, served bool) {
+	src, gen := e.liveSource()
+	if src == nil {
+		return nil, nil, false
+	}
+	served = src.View(func(version uint64, s *lu.Solver) {
+		resp, err = e.answerSolver(q, s, damping, int(version), livePrefix(gen, version), version, true, w)
+	})
+	if served {
+		e.liveQueries.Add(1)
+	}
+	return resp, err, served
+}

@@ -97,6 +97,13 @@ type Response struct {
 	Nodes    []int     `json:"nodes,omitempty"`
 	Scores   []float64 `json:"scores"`
 	CacheHit bool      `json:"cache_hit"`
+	// Live marks an answer computed from an attached live source's
+	// current factors (see AttachLive); Version is the source's factor
+	// version the answer reflects. Version is always serialized — a
+	// live answer at version 0 is still versioned — and is meaningful
+	// only when Live is true.
+	Live    bool   `json:"live,omitempty"`
+	Version uint64 `json:"version"`
 }
 
 // Stats is a point-in-time snapshot of the engine's counters.
@@ -124,6 +131,13 @@ type Stats struct {
 	DenseSolves     int64   `json:"dense_solves"`
 	SparseFallbacks int64   `json:"sparse_fallbacks"`
 	AvgReachFrac    float64 `json:"avg_reach_frac"`
+
+	// Live-source counters: LiveQueries counts answers served from the
+	// attached live source's hot factors, LiveVersion its latest
+	// published version at the time of the Stats call.
+	LiveAttached bool   `json:"live_attached"`
+	LiveQueries  int64  `json:"live_queries"`
+	LiveVersion  uint64 `json:"live_version"`
 }
 
 // HitRate returns the cache hit fraction over answered queries.
@@ -159,6 +173,17 @@ type Engine struct {
 	// exact ratio without float atomics.
 	sparseSolves, denseSolves, sparseFallbacks atomic.Int64
 	reachRows, reachDen                        atomic.Int64
+
+	// Live source (see live.go). Guarded by mu; read once per query and
+	// released before the source's lock is taken, so the lock orders
+	// "source → e.mu" (checkpoint pins from a publish callback) and
+	// "e.mu → source" never both occur. liveGen bumps on every
+	// AttachLive and stamps live cache keys, so a swapped-in source can
+	// never be served answers computed from its predecessor's factors
+	// (the live twin of the pinned store's pin generation).
+	live        LiveSource
+	liveGen     uint64
+	liveQueries atomic.Int64
 }
 
 // snapEntry is one retained snapshot: the pinned solver plus the pin
@@ -314,6 +339,11 @@ func (e *Engine) Stats() Stats {
 	if den := e.reachDen.Load(); den > 0 {
 		st.AvgReachFrac = float64(e.reachRows.Load()) / float64(den)
 	}
+	if src, _ := e.liveSource(); src != nil {
+		st.LiveAttached = true
+		st.LiveQueries = e.liveQueries.Load()
+		src.View(func(v uint64, _ *lu.Solver) { st.LiveVersion = v })
+	}
 	return st
 }
 
@@ -399,12 +429,11 @@ func (e *Engine) trySparse(enabled bool, solve func() (measures.SparseScores, bo
 	return sp, true
 }
 
-// answer resolves, validates, and serves one query on the calling
-// worker's scratch. Single-source and seed-set measures go through the
-// reach-based sparse solve first and fall back to the dense
-// substitution when the reach probe exceeds the configured fraction of
-// n; both paths produce bit-identical answers (the stress test holds
-// every response against an independent cold dense solve).
+// answer resolves one query to a solver and serves it on the calling
+// worker's scratch. Queries for the latest state (Snapshot < 0) are
+// routed to the attached live source when one exists — reading the
+// streaming engine's current factors in place under its publish lock —
+// and to the pinned snapshot store otherwise.
 func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
 	damping := q.Damping
 	if damping == 0 {
@@ -412,6 +441,12 @@ func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
 	}
 	if damping != e.cfg.Damping {
 		return nil, fmt.Errorf("serve: damping %v not served (factors built for %v)", damping, e.cfg.Damping)
+	}
+
+	if q.Snapshot < 0 {
+		if resp, err, served := e.answerLive(q, damping, w); served {
+			return resp, err
+		}
 	}
 
 	e.mu.RLock()
@@ -427,7 +462,16 @@ func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownSnapshot, snap)
 	}
-	solver := entry.s
+	return e.answerSolver(q, entry.s, damping, snap, pinnedPrefix(snap, entry.gen), 0, false, w)
+}
+
+// answerSolver validates and serves one query against a resolved
+// solver. Single-source and seed-set measures go through the
+// reach-based sparse solve first and fall back to the dense
+// substitution when the reach probe exceeds the configured fraction of
+// n; both paths produce bit-identical answers (the stress test holds
+// every response against an independent cold dense solve).
+func (e *Engine) answerSolver(q Query, solver *lu.Solver, damping float64, snap int, keyPrefix string, version uint64, live bool, w *workerScratch) (*Response, error) {
 	n := solver.F.Dim()
 
 	var seeds []int // canonical ppr seed set (sorted, deduplicated copy)
@@ -464,10 +508,10 @@ func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
 		return nil, fmt.Errorf("serve: unknown measure %q", q.Measure)
 	}
 
-	key := cacheKey(snap, entry.gen, q.Measure, q.Source, seeds, q.K, damping)
+	key := keyPrefix + keySuffix(q.Measure, q.Source, seeds, q.K, damping)
 	if ans, ok := e.cache.get(key); ok {
 		e.hits.Add(1)
-		return respond(snap, q.Measure, damping, ans, true), nil
+		return respond(snap, q.Measure, damping, ans, true, version, live), nil
 	}
 	e.misses.Add(1)
 
@@ -518,18 +562,20 @@ func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
 	}
 	e.solves.Add(1)
 	e.cacheEvicted.Add(int64(e.cache.put(key, ans)))
-	return respond(snap, q.Measure, damping, ans, false), nil
+	return respond(snap, q.Measure, damping, ans, false, version, live), nil
 }
 
 // respond builds a Response around copies of the (possibly cached, and
 // therefore shared) answer slices.
-func respond(snap int, measure string, damping float64, ans answer, hit bool) *Response {
+func respond(snap int, measure string, damping float64, ans answer, hit bool, version uint64, live bool) *Response {
 	r := &Response{
 		Snapshot: snap,
 		Measure:  measure,
 		Damping:  damping,
 		Scores:   append([]float64(nil), ans.scores...),
 		CacheHit: hit,
+		Live:     live,
+		Version:  version,
 	}
 	if ans.nodes != nil {
 		r.Nodes = append([]int(nil), ans.nodes...)
@@ -537,17 +583,29 @@ func respond(snap int, measure string, damping float64, ans answer, hit bool) *R
 	return r
 }
 
-// cacheKey canonicalizes a query into the (snapshot, measure, source,
-// damping) key of the result cache, stamped with the snapshot's pin
-// generation so a re-pinned snapshot can never serve answers computed
-// from its previous factors. Damping is rendered in hex float so
-// distinct values can never collide; ppr seeds arrive sorted and
-// deduplicated, so equivalent seed sets share an entry.
-func cacheKey(snap int, gen uint64, measure string, source int, seeds []int, k int, damping float64) string {
+// pinnedPrefix is the cache-key namespace of a pinned snapshot: the
+// snapshot index stamped with its pin generation, so a re-pinned
+// snapshot can never serve answers computed from its previous factors.
+// Eviction purges by the "<snap>#" prefix.
+func pinnedPrefix(snap int, gen uint64) string {
+	return strconv.Itoa(snap) + "#" + strconv.FormatUint(gen, 10)
+}
+
+// livePrefix is the cache-key namespace of a live version, stamped with
+// the attach generation. It can never collide with a pinned prefix
+// (those start with a digit or '-'); within one attached source
+// versions are monotone, and across re-attaches the generation changes,
+// so stale live answers are unreachable and simply age out of the LRU.
+func livePrefix(gen, version uint64) string {
+	return "live#" + strconv.FormatUint(gen, 10) + "#" + strconv.FormatUint(version, 10)
+}
+
+// keySuffix canonicalizes the query payload into the rest of the cache
+// key. Damping is rendered in hex float so distinct values can never
+// collide; ppr seeds arrive sorted and deduplicated, so equivalent seed
+// sets share an entry.
+func keySuffix(measure string, source int, seeds []int, k int, damping float64) string {
 	var b strings.Builder
-	b.WriteString(strconv.Itoa(snap))
-	b.WriteByte('#')
-	b.WriteString(strconv.FormatUint(gen, 10))
 	b.WriteByte('|')
 	b.WriteString(measure)
 	b.WriteByte('|')
