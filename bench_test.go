@@ -94,6 +94,11 @@ func BenchmarkSparseSolveQueries(b *testing.B) { benchExperiment(b, "sparsesolve
 // (see internal/bench.Streaming).
 func BenchmarkStreamingIngest(b *testing.B) { benchExperiment(b, "streaming") }
 
+// BenchmarkPersistenceRestart regenerates the durability experiment:
+// warm restart (snapshot + WAL tail) vs cold refactorization, and the
+// WAL fsync toll on ingest.
+func BenchmarkPersistenceRestart(b *testing.B) { benchExperiment(b, "persistence") }
+
 // BenchmarkParallelWorkers runs each LUDEM algorithm end-to-end across
 // engine pool sizes (compare sub-benchmark ns/op to see the scaling;
 // on a multi-core box CLUDE/workers=4 should be well under workers=1).

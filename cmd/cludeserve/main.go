@@ -19,6 +19,17 @@
 //
 //	cludeserve -addr :8080 -scale small -alpha 0.95
 //	cludeserve -stream -alg CLUDE -batch 64 -flush-ms 200 -checkpoint 32
+//	cludeserve -stream -data-dir /var/lib/clude -fsync always -snapshot-every 32
+//
+// With -data-dir the streaming engine is durable: every ingest batch is
+// written to a WAL before it mutates the factors (fsync per -fsync),
+// background factor snapshots are taken every -snapshot-every versions,
+// and on boot the server warm-restarts from the newest valid snapshot
+// plus the WAL tail — at the exact pre-crash version, without a cold
+// refactorization (see docs/PERSISTENCE.md). In both modes -data-dir
+// also gives the snapshot store disk-backed eviction: cold pinned
+// snapshots spill to <data-dir>/spill and reload transparently when
+// queried.
 //
 // Endpoints:
 //
@@ -55,11 +66,14 @@ import (
 	"syscall"
 	"time"
 
+	"path/filepath"
+
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -78,6 +92,10 @@ func main() {
 		batchSize  = flag.Int("batch", 64, "streaming: events per ingest batch")
 		flushMS    = flag.Int("flush-ms", 200, "streaming: max linger before a partial batch commits (0 = size-only)")
 		checkpoint = flag.Int("checkpoint", 0, "streaming: pin a factor clone every k versions (0 = never)")
+
+		dataDir   = flag.String("data-dir", "", "durability directory: WAL + factor snapshots (streaming), snapshot spill (both modes); empty = memory only")
+		fsyncMode = flag.String("fsync", "always", "WAL fsync policy: always | none")
+		snapEvery = flag.Uint64("snapshot-every", 32, "streaming: background factor snapshot every k versions")
 	)
 	flag.Parse()
 
@@ -90,18 +108,38 @@ func main() {
 		fatal(err)
 	}
 
-	eng := serve.New(serve.Config{
+	scfg := serve.Config{
 		MaxSnapshots:    snapshotBound(*maxSnaps, egs.Len()),
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
 		Damping:         d.Damping,
 		SparseReachFrac: *reachFrac,
-	})
+	}
+	if *dataDir != "" {
+		// Evicted pinned snapshots spill to disk instead of vanishing,
+		// in both modes.
+		scfg.SpillDir = filepath.Join(*dataDir, "spill")
+	}
+	eng := serve.New(scfg)
+
+	var st *store.Store
+	if *streaming && *dataDir != "" {
+		policy, perr := store.ParseSyncPolicy(*fsyncMode)
+		if perr != nil {
+			eng.Close()
+			fatal(perr)
+		}
+		st, err = store.Open(*dataDir, store.Options{Sync: policy, SnapshotEvery: *snapEvery})
+		if err != nil {
+			eng.Close()
+			fatal(err)
+		}
+	}
 
 	var stream *core.Stream
 	var batcher *core.Batcher
 	if *streaming {
-		stream, batcher, err = startStream(eng, egs, d.Damping, *algName, *alpha, *batchSize, *flushMS, *checkpoint)
+		stream, batcher, err = startStream(eng, st, egs, d.Damping, *algName, *alpha, *batchSize, *flushMS, *checkpoint)
 	} else {
 		err = factorOffline(eng, egs, d.Damping, *alpha, *factorW)
 	}
@@ -110,7 +148,7 @@ func main() {
 		fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(eng, stream, batcher)}
+	srv := &http.Server{Addr: *addr, Handler: newMux(eng, stream, batcher, st)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("serving on %s", *addr)
@@ -147,6 +185,12 @@ func main() {
 		log.Printf("stream final: %+v", stream.Stats())
 		stream.Close()
 	}
+	if st != nil {
+		// Final checkpoint: a clean restart replays nothing.
+		if err := st.Close(); err != nil {
+			log.Printf("store close: %v", err)
+		}
+	}
 	eng.Close()
 	log.Printf("shut down; final stats: %+v", eng.Stats())
 }
@@ -178,9 +222,12 @@ func factorOffline(eng *serve.Engine, egs *graph.EGS, damping, alpha float64, fa
 }
 
 // startStream is the live mode: seed a streaming engine with the first
-// snapshot, attach it as the serve layer's live source, and return the
-// ingest batcher POST /update feeds.
-func startStream(eng *serve.Engine, egs *graph.EGS, damping float64, algName string, alpha float64, batchSize, flushMS, checkpoint int) (*core.Stream, *core.Batcher, error) {
+// snapshot (or, with a durability store, recover the pre-crash state
+// from its newest snapshot plus the WAL tail), attach it as the serve
+// layer's live source, and return the ingest batcher POST /update
+// feeds. A fatal dataset mismatch aside, a recovered boot serves the
+// exact factors the crashed process last published.
+func startStream(eng *serve.Engine, st *store.Store, egs *graph.EGS, damping float64, algName string, alpha float64, batchSize, flushMS, checkpoint int) (*core.Stream, *core.Batcher, error) {
 	cfg := core.StreamConfig{
 		Algorithm: core.Algorithm(strings.ToUpper(algName)),
 		Alpha:     alpha,
@@ -191,18 +238,35 @@ func startStream(eng *serve.Engine, egs *graph.EGS, damping float64, algName str
 		cfg.OnPublish = eng.CheckpointEvery(uint64(checkpoint))
 	}
 	t0 := time.Now()
-	stream, err := core.NewStream(cfg)
-	if err != nil {
-		return nil, nil, err
+	var stream *core.Stream
+	var err error
+	if st != nil {
+		var info store.RecoveryInfo
+		stream, info, err = st.OpenStream(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if info.Recovered {
+			log.Printf("warm restart: snapshot v%d + %d WAL batches replayed -> version %d in %v",
+				info.SnapshotVersion, info.ReplayedBatches, info.Version, time.Since(t0).Round(time.Millisecond))
+		} else {
+			log.Printf("cold start with durability at %s (initial snapshot written)", st.Dir())
+		}
+	} else {
+		stream, err = core.NewStream(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	eng.AttachLive(stream)
-	log.Printf("streaming %s over n=%d (initial factorization %v); ingest batches of %d, linger %dms, checkpoint every %d",
+	log.Printf("streaming %s over n=%d (boot %v); ingest batches of %d, linger %dms, checkpoint every %d",
 		cfg.Algorithm, stream.N(), time.Since(t0).Round(time.Millisecond), batchSize, flushMS, checkpoint)
 	return stream, stream.NewBatcher(batchSize, time.Duration(flushMS)*time.Millisecond), nil
 }
 
-// newMux wires the endpoints. stream/batcher are nil in offline mode.
-func newMux(eng *serve.Engine, stream *core.Stream, batcher *core.Batcher) *http.ServeMux {
+// newMux wires the endpoints. stream/batcher are nil in offline mode;
+// st is nil without -data-dir.
+func newMux(eng *serve.Engine, stream *core.Stream, batcher *core.Batcher, st *store.Store) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		q, err := parseQuery(r)
@@ -260,13 +324,16 @@ func newMux(eng *serve.Engine, stream *core.Stream, batcher *core.Batcher) *http
 		writeJSON(w, out)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := eng.Stats()
+		es := eng.Stats()
 		out := map[string]interface{}{
-			"stats":    st,
-			"hit_rate": st.HitRate(),
+			"stats":    es,
+			"hit_rate": es.HitRate(),
 		}
 		if stream != nil {
 			out["stream"] = stream.Stats()
+		}
+		if st != nil {
+			out["store"] = st.Stats()
 		}
 		writeJSON(w, out)
 	})
@@ -315,17 +382,37 @@ func parseUpdate(r *http.Request, n int) ([]graph.EdgeEvent, error) {
 	return events, nil
 }
 
+// queryParams is the closed set of /query URL parameters. Anything
+// else is a client error: silently ignoring a typo ("sorce=5") would
+// answer a different question than the one asked.
+var queryParams = map[string]bool{
+	"measure": true, "snapshot": true, "source": true,
+	"sources": true, "k": true, "damping": true,
+}
+
 // parseQuery accepts either URL parameters (GET) or a JSON body (POST)
-// shaped like serve.Query.
+// shaped like serve.Query. Unknown or repeated parameters (and unknown
+// JSON fields) are rejected with a descriptive error, which the
+// handler returns as HTTP 400.
 func parseQuery(r *http.Request) (serve.Query, error) {
 	q := serve.Query{Snapshot: -1}
 	if r.Method == http.MethodPost {
-		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&q); err != nil {
 			return q, fmt.Errorf("bad JSON body: %w", err)
 		}
 		return q, nil
 	}
 	v := r.URL.Query()
+	for key, vals := range v {
+		if !queryParams[key] {
+			return q, fmt.Errorf("unknown query parameter %q", key)
+		}
+		if len(vals) > 1 {
+			return q, fmt.Errorf("query parameter %q given %d times", key, len(vals))
+		}
+	}
 	q.Measure = v.Get("measure")
 	var err error
 	if s := v.Get("snapshot"); s != "" {

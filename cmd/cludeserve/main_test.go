@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// testServer builds a minimal live-mode handler: a tiny streaming
+// engine attached to a one-worker serve engine.
+func testServer(t *testing.T) (*httptest.Server, func()) {
+	t.Helper()
+	g := graph.New(6, false, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 4}, {From: 4, To: 5},
+	})
+	stream, err := core.NewStream(core.StreamConfig{
+		Algorithm: core.INC,
+		Initial:   g,
+		Derive:    graph.RWRMatrix(0.85),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := serve.New(serve.Config{Damping: 0.85, Workers: 1})
+	eng.AttachLive(stream)
+	srv := httptest.NewServer(newMux(eng, stream, stream.NewBatcher(4, 0), nil))
+	return srv, func() {
+		srv.Close()
+		stream.Close()
+		eng.Close()
+	}
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: non-JSON response: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestQueryRejectsUnknownParams pins the contract that /query answers
+// exactly the question asked: a typoed or foreign URL parameter is a
+// 400 with a JSON error naming it, never a silently different answer.
+func TestQueryRejectsUnknownParams(t *testing.T) {
+	srv, done := testServer(t)
+	defer done()
+
+	code, _ := getJSON(t, srv.URL+"/query?measure=rwr&source=2")
+	if code != http.StatusOK {
+		t.Fatalf("valid query: status %d", code)
+	}
+
+	cases := []struct {
+		name, url string
+		wantIn    string
+	}{
+		{"typoed param", "/query?measure=rwr&sorce=2", "sorce"},
+		{"foreign param", "/query?measure=pagerank&verbose=1", "verbose"},
+		{"duplicate param", "/query?measure=rwr&source=2&source=3", "source"},
+		{"malformed source", "/query?measure=rwr&source=two", "two"},
+		{"malformed snapshot", "/query?measure=rwr&source=1&snapshot=x", "x"},
+		{"malformed k", "/query?measure=topk&source=1&k=ten", "ten"},
+		{"malformed sources", "/query?measure=ppr&sources=1,zz", "zz"},
+		{"malformed damping", "/query?measure=rwr&source=1&damping=high", "high"},
+	}
+	for _, tc := range cases {
+		code, body := getJSON(t, srv.URL+tc.url)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+			continue
+		}
+		msg, _ := body["error"].(string)
+		if msg == "" {
+			t.Errorf("%s: 400 without JSON error field", tc.name)
+		} else if !strings.Contains(msg, tc.wantIn) {
+			t.Errorf("%s: error %q does not name the offender %q", tc.name, msg, tc.wantIn)
+		}
+	}
+}
+
+// TestQueryPostRejectsUnknownFields is the JSON-body twin.
+func TestQueryPostRejectsUnknownFields(t *testing.T) {
+	srv, done := testServer(t)
+	defer done()
+
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"measure":"rwr","source":1,"sorce":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown JSON field: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"measure":"rwr","source":1,"snapshot":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid JSON query: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestUpdateAndStatsEndpoints smoke-tests the ingest + stats loop the
+// crash-recovery CI job drives over a real binary.
+func TestUpdateAndStatsEndpoints(t *testing.T) {
+	srv, done := testServer(t)
+	defer done()
+
+	resp, err := http.Post(srv.URL+"/update?sync=1", "application/json",
+		strings.NewReader(`{"events":[{"from":0,"to":5,"op":"insert"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync update: status %d", resp.StatusCode)
+	}
+	if v, _ := out["version"].(float64); v != 1 {
+		t.Fatalf("sync update version = %v, want 1", out["version"])
+	}
+
+	code, stats := getJSON(t, srv.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats: status %d", code)
+	}
+	stream, _ := stats["stream"].(map[string]interface{})
+	if stream == nil {
+		t.Fatal("/stats missing stream section in streaming mode")
+	}
+	if v, _ := stream["version"].(float64); v != 1 {
+		t.Errorf("stream version in /stats = %v, want 1", stream["version"])
+	}
+}

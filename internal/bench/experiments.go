@@ -41,6 +41,7 @@ func Registry() []Experiment {
 		{"serving", "Serving layer: query throughput/latency vs pool size, cache hit rate", Serving},
 		{"sparsesolve", "Serving layer: reach-based sparse vs dense solve latency vs cluster count", SparseSolve},
 		{"streaming", "Streaming engine: update throughput vs live query latency vs batch size; publish-path allocations", Streaming},
+		{"persistence", "Durability: warm restart vs cold refactorization; WAL fsync ingest cost (beyond the paper)", Persistence},
 	}
 }
 

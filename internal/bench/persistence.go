@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// Persistence measures the two costs the durability layer trades: (a)
+// warm restart — newest snapshot + WAL tail through store.Recover —
+// against the cold full refactorization a crash would otherwise force,
+// across graph sizes; and (b) sustained ingest throughput with the WAL
+// fsyncing every batch, buffering via the OS, or absent entirely — the
+// price of each durability guarantee.
+func Persistence(d Datasets) ([]*Table, error) {
+	restart, err := persistenceRestart(d)
+	if err != nil {
+		return nil, err
+	}
+	ingest, err := persistenceIngest(d)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{restart, ingest}, nil
+}
+
+// persistenceRestart times store.Recover (deserialize + replay) against
+// a cold boot (ordering + symbolic + full numeric factorization of the
+// same final state) at several sizes of the Wiki-like dataset — the
+// high-MES regime the paper targets, where a batch is a cheap Bennett
+// update and the snapshot therefore carries real reuse value.
+func persistenceRestart(d Datasets) (*Table, error) {
+	tbl := &Table{
+		Title: "Warm restart (snapshot + WAL tail) vs cold full refactorization (CLUDE, Wiki). " +
+			"tail = batches committed after the last checkpoint (bounded by -snapshot-every)",
+		Header: []string{"n", "versions", "warm, tail=0", "warm, tail=2", "cold refactor", "speedup (tail=0)"},
+	}
+	base := d.Wiki
+	for _, scale := range []float64{0.5, 1.0} {
+		cfg := base
+		cfg.N = maxInt(60, int(float64(base.N)*scale))
+		cfg.InitialEdges = maxInt(cfg.N*2, int(float64(base.InitialEdges)*scale))
+		cfg.FinalEdges = maxInt(cfg.InitialEdges+cfg.N/4, int(float64(base.FinalEdges)*scale))
+		egs, err := gen.WikiSim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		deriver := graph.RWRMatrix(d.Damping)
+		scfg := core.StreamConfig{Algorithm: core.CLUDE, Alpha: 0.95, Initial: egs.Snapshots[0], Derive: deriver}
+		batches := graph.DeltaBatches(egs)
+
+		var warm [2]time.Duration
+		for w, tail := range []int{0, 2} {
+			d, err := timedRecover(scfg, batches, tail)
+			if err != nil {
+				return nil, err
+			}
+			warm[w] = d
+		}
+
+		t1 := time.Now()
+		coldStream, err := core.NewStream(core.StreamConfig{Algorithm: core.CLUDE, Alpha: 0.95, Initial: egs.Snapshots[egs.Len()-1], Derive: deriver})
+		if err != nil {
+			return nil, err
+		}
+		cold := time.Since(t1)
+		coldStream.Close()
+
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(cfg.N), fmt.Sprint(len(batches)),
+			dur(warm[0]), dur(warm[1]), dur(cold), f(speedup(cold, warm[0])),
+		})
+	}
+	return tbl, nil
+}
+
+// timedRecover builds a durable stream whose last checkpoint sits
+// `tail` batches before the crash point, kills it (no final snapshot),
+// and times store.Recover back to the exact pre-crash version.
+func timedRecover(scfg core.StreamConfig, batches [][]graph.EdgeEvent, tail int) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "clude-persist-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	opt := store.Options{Sync: store.SyncNone, SnapshotEvery: 1 << 30}
+	st, err := store.Open(dir, opt)
+	if err != nil {
+		return 0, err
+	}
+	stream, _, err := st.OpenStream(scfg)
+	if err != nil {
+		return 0, err
+	}
+	snapAt := maxInt(0, len(batches)-1-tail)
+	for i, evs := range batches {
+		if _, err := stream.Apply(evs); err != nil {
+			return 0, err
+		}
+		if i == snapAt {
+			if err := st.Snapshot(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	stream.Close()
+	// Crash: no store.Close, no final snapshot.
+
+	t0 := time.Now()
+	warmStream, st2, info, err := store.Recover(dir, scfg, opt)
+	if err != nil {
+		return 0, err
+	}
+	warm := time.Since(t0)
+	if got, want := warmStream.Version(), uint64(len(batches)); got != want {
+		return 0, fmt.Errorf("bench: warm restart reached version %d, want %d", got, want)
+	}
+	if info.ReplayedBatches != tail {
+		return 0, fmt.Errorf("bench: replayed %d batches, want %d", info.ReplayedBatches, tail)
+	}
+	warmStream.Close()
+	st2.Close()
+	return warm, nil
+}
+
+// persistenceIngest measures the WAL's toll on the ingest hot path:
+// events/second with fsync-per-batch, OS-buffered logging, and no
+// durability at all.
+func persistenceIngest(d Datasets) (*Table, error) {
+	egs, err := gen.WikiSim(d.Wiki)
+	if err != nil {
+		return nil, err
+	}
+	deriver := graph.RWRMatrix(d.Damping)
+	batches := graph.DeltaBatches(egs)
+	events := 0
+	for _, b := range batches {
+		events += len(b)
+	}
+	tbl := &Table{
+		Title:  fmt.Sprintf("Ingest throughput vs durability (CLUDE, n=%d, %d events in %d batches)", egs.N(), events, len(batches)),
+		Header: []string{"durability", "ingest wall", "events/s", "wal records", "fsyncs"},
+	}
+	for _, mode := range []string{"none (no WAL)", "wal, fsync=none", "wal, fsync=always"} {
+		scfg := core.StreamConfig{Algorithm: core.CLUDE, Alpha: 0.95, Initial: egs.Snapshots[0], Derive: deriver}
+		var stream *core.Stream
+		var st *store.Store
+		switch mode {
+		case "none (no WAL)":
+			stream, err = core.NewStream(scfg)
+		default:
+			sync := store.SyncNone
+			if mode == "wal, fsync=always" {
+				sync = store.SyncAlways
+			}
+			dir, derr := os.MkdirTemp("", "clude-ingest-*")
+			if derr != nil {
+				return nil, derr
+			}
+			defer os.RemoveAll(dir)
+			st, err = store.Open(dir, store.Options{Sync: sync, SnapshotEvery: 1 << 30})
+			if err != nil {
+				return nil, err
+			}
+			stream, _, err = st.OpenStream(scfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		for _, evs := range batches {
+			if _, err := stream.Apply(evs); err != nil {
+				return nil, err
+			}
+		}
+		wall := time.Since(t0)
+		stream.Close()
+		row := []string{mode, dur(wall), f(float64(events) / wall.Seconds()), "0", "0"}
+		if st != nil {
+			ss := st.Stats()
+			row[3] = fmt.Sprint(ss.WALRecords)
+			row[4] = fmt.Sprint(ss.WALFsyncs)
+			st.Close()
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}

@@ -74,3 +74,47 @@ func (t *Tracker) Len() int { return t.end - t.start }
 
 // Clusters returns how many clusters have been opened so far.
 func (t *Tracker) Clusters() int { return t.clusters }
+
+// TrackerState is the complete serializable state of a Tracker. The
+// patterns are immutable and may be shared with a live tracker: Admit
+// replaces them, never mutates them, so an exported state stays valid
+// while the tracker advances.
+type TrackerState struct {
+	Alpha      float64
+	Start, End int
+	Clusters   int
+	// Inter and Union are the current cluster's bounding patterns; both
+	// nil before the first Admit.
+	Inter, Union *sparse.Pattern
+}
+
+// State exports the tracker for persistence.
+func (t *Tracker) State() *TrackerState {
+	return &TrackerState{
+		Alpha: t.alpha,
+		Start: t.start, End: t.end,
+		Clusters: t.clusters,
+		Inter:    t.inter, Union: t.union,
+	}
+}
+
+// RestoreTracker rebuilds a tracker from an exported state. Feeding the
+// restored tracker the same future patterns as the original yields
+// identical admission decisions.
+func RestoreTracker(st *TrackerState) (*Tracker, error) {
+	if st.Alpha < 0 || st.Alpha > 1 {
+		return nil, fmt.Errorf("cluster: alpha %v outside [0,1]", st.Alpha)
+	}
+	if (st.Inter == nil) != (st.Union == nil) {
+		return nil, fmt.Errorf("cluster: inconsistent tracker state (inter/union presence differs)")
+	}
+	if st.Start < 0 || st.End < st.Start || st.Clusters < 0 {
+		return nil, fmt.Errorf("cluster: implausible tracker counters start=%d end=%d clusters=%d", st.Start, st.End, st.Clusters)
+	}
+	return &Tracker{
+		alpha: st.Alpha,
+		start: st.Start, end: st.End,
+		clusters: st.Clusters,
+		inter:    st.Inter, union: st.Union,
+	}, nil
+}

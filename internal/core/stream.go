@@ -50,6 +50,11 @@ import (
 // ErrStreamClosed reports an Apply on a closed stream.
 var ErrStreamClosed = errors.New("core: stream closed")
 
+// ErrReplayGap reports a ReplayBatch whose sequence number does not
+// directly follow the stream's: the log is missing records the
+// snapshot does not cover, which torn-tail truncation can never cause.
+var ErrReplayGap = errors.New("core: replay gap")
+
 // StreamConfig configures a live streaming engine.
 type StreamConfig struct {
 	// Algorithm is the maintenance strategy (BF, INC, CINC or CLUDE).
@@ -71,6 +76,15 @@ type StreamConfig struct {
 	// through View and leave this callback for notifications and
 	// checkpointing. The callback must not call back into the Stream.
 	OnPublish func(version uint64, s *lu.Solver)
+	// LogBatch, when non-nil, is the write-ahead hook: it is invoked
+	// for every validated batch before any state mutates, with the
+	// batch's sequence number (1-based, monotone across the stream's
+	// life, counting every validated batch whether or not its
+	// strategy step later succeeds). An error aborts the batch with
+	// the stream untouched — the durability contract of the store
+	// layer: no state change is ever visible that is not logged first.
+	// ReplayBatch skips this hook (its batches are already durable).
+	LogBatch func(seq uint64, events []graph.EdgeEvent) error
 }
 
 // StreamStats is a point-in-time snapshot of a stream's counters.
@@ -103,6 +117,7 @@ type Stream struct {
 	mu      sync.RWMutex
 	closed  bool
 	version uint64
+	seq     uint64 // validated batches consumed (the WAL sequence number)
 	builder *graph.Builder
 	tracker *cluster.Tracker // CINC/CLUDE membership
 
@@ -164,10 +179,55 @@ func (s *Stream) Apply(events []graph.EdgeEvent) (uint64, error) {
 	if s.closed {
 		return 0, ErrStreamClosed
 	}
-	applied, err := s.builder.ApplyBatch(events)
-	if err != nil {
+	return s.applyLocked(events, true)
+}
+
+// ReplayBatch re-applies a batch previously handed to LogBatch — the
+// recovery path. It behaves exactly like Apply except that the LogBatch
+// hook is skipped (the batch is already durable) and the batch must
+// land at the stream's next sequence number: batches at or below the
+// current sequence are silently skipped (the snapshot already covers
+// them), a gap is an error. Replaying the logged batch sequence into a
+// restored stream therefore reproduces the original run's state
+// transitions bit for bit, including deterministic step failures (which
+// consume the sequence number without publishing, exactly as they did
+// live).
+func (s *Stream) ReplayBatch(seq uint64, events []graph.EdgeEvent) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrStreamClosed
+	}
+	if seq <= s.seq {
+		return s.version, nil
+	}
+	if seq != s.seq+1 {
+		return 0, fmt.Errorf("%w: record seq %d, stream at %d", ErrReplayGap, seq, s.seq)
+	}
+	return s.applyLocked(events, false)
+}
+
+// Seq returns the number of validated batches the stream has consumed
+// (the sequence number of the last logged batch).
+func (s *Stream) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// applyLocked is the shared commit path of Apply and ReplayBatch.
+// Callers hold the write lock.
+func (s *Stream) applyLocked(events []graph.EdgeEvent, logIt bool) (uint64, error) {
+	if err := s.builder.ValidateBatch(events); err != nil {
 		return 0, err
 	}
+	if logIt && s.cfg.LogBatch != nil {
+		if err := s.cfg.LogBatch(s.seq+1, events); err != nil {
+			return 0, fmt.Errorf("core: %s batch log: %w", s.cfg.Algorithm, err)
+		}
+	}
+	s.seq++
+	applied, _ := s.builder.ApplyBatch(events) // already validated
 	s.stats.Batches++
 	s.stats.Events += len(events)
 	s.stats.EventsApplied += applied

@@ -170,14 +170,25 @@ func (b *Builder) Apply(ev EdgeEvent) (bool, error) {
 	}
 }
 
+// ValidateBatch checks every event against the builder's vertex range
+// and the op vocabulary without mutating anything — the write-ahead
+// path of the streaming engine validates before logging so a batch that
+// can never apply is rejected before it is made durable.
+func (b *Builder) ValidateBatch(events []EdgeEvent) error {
+	for _, ev := range events {
+		if err := b.check(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ApplyBatch validates every event first and then applies them in
 // order, so a malformed batch leaves the builder untouched. It returns
 // the number of events that changed the edge set.
 func (b *Builder) ApplyBatch(events []EdgeEvent) (int, error) {
-	for _, ev := range events {
-		if err := b.check(ev); err != nil {
-			return 0, err
-		}
+	if err := b.ValidateBatch(events); err != nil {
+		return 0, err
 	}
 	changed := 0
 	for _, ev := range events {

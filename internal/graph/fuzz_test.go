@@ -1,0 +1,127 @@
+package graph_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzReadDeltas hammers the egsdeltas text parser with hostile input:
+// the contract is that it returns an error — it never panics, and it
+// never allocates proportionally to unproven header counts. The seed
+// corpus runs under plain `go test`; `go test -fuzz=FuzzReadDeltas
+// ./internal/graph` explores from there.
+func FuzzReadDeltas(f *testing.F) {
+	// A well-formed document, via the writer itself.
+	g := graph.New(5, false, []graph.Edge{{From: 0, To: 1}, {From: 2, To: 3}})
+	var buf bytes.Buffer
+	if err := graph.WriteDeltas(&buf, g, [][]graph.EdgeEvent{
+		{{From: 1, To: 2, Op: graph.EdgeInsert}},
+		{{From: 0, To: 1, Op: graph.EdgeDelete}, {From: 3, To: 4, Op: graph.EdgeUpdate}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	// Hostile shapes: truncations, absurd counts, negative counts,
+	// malformed ops and endpoints, directed header, empty input.
+	seeds := []string{
+		"",
+		"egsdeltas",
+		"egsdeltas 5 2 true\n",
+		"egsdeltas 5 2 true\ninit 99999999999999999\n",
+		"egsdeltas 99999999999 1 false\ninit 0\n",
+		"egsdeltas 5 99999999999 true\ninit 0\n",
+		"egsdeltas 5 2 true\ninit -3\n",
+		"egsdeltas 5 2 true\ninit 1\n0 1\nbatch 1 -9\n",
+		"egsdeltas 5 2 true\ninit 1\n0 1\nbatch 1 1\n? 0 1\n",
+		"egsdeltas 5 2 true\ninit 1\n0 1\nbatch 1 1\n+ 7 1\n",
+		"egsdeltas 5 2 true\ninit 1\n0 1\nbatch 2 0\n",
+		"egsdeltas 5 2 true\ninit 1\n0 1 9\n",
+		"egsdeltas -1 2 true\ninit 0\n",
+		"egsdeltas 3 1 maybe\ninit 0\n",
+		"egsdeltas 3 1 true\ninit 1\n0\n",
+		"egsdeltas 2 2 false\ninit 0\nbatch 1 1\n+ 0 1\n+ 1 0\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	// Keep fuzz-discovered headers from legitimately allocating
+	// gigabytes: the cap is a tunable precisely so hostile-input tests
+	// can lower it without weakening the panics-never contract.
+	savedV, savedT := graph.MaxTextVertices, graph.MaxTextSnapshots
+	graph.MaxTextVertices = 1 << 12
+	graph.MaxTextSnapshots = 1 << 10
+	f.Cleanup(func() {
+		graph.MaxTextVertices, graph.MaxTextSnapshots = savedV, savedT
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		initial, batches, err := graph.ReadDeltas(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through the writer and parse
+		// again to the same shape.
+		var out bytes.Buffer
+		if err := graph.WriteDeltas(&out, initial, batches); err != nil {
+			t.Fatalf("WriteDeltas on accepted input: %v", err)
+		}
+		initial2, batches2, err := graph.ReadDeltas(&out)
+		if err != nil {
+			t.Fatalf("re-parse of round-tripped input: %v", err)
+		}
+		if initial2.N() != initial.N() || initial2.NumEdges() != initial.NumEdges() || len(batches2) != len(batches) {
+			t.Fatalf("round trip changed shape: n %d->%d, edges %d->%d, batches %d->%d",
+				initial.N(), initial2.N(), initial.NumEdges(), initial2.NumEdges(), len(batches), len(batches2))
+		}
+	})
+}
+
+// FuzzReadEGS gives the snapshot-format parser the same treatment (the
+// two share the hardened scanning core).
+func FuzzReadEGS(f *testing.F) {
+	g0 := graph.New(4, true, []graph.Edge{{From: 0, To: 1}})
+	g1 := graph.New(4, true, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+	egs, err := graph.NewEGS([]*graph.Graph{g0, g1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteEGS(&buf, egs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	for _, s := range []string{
+		"",
+		"egs 4 99999999999 true\n",
+		"egs 99999999999 1 true\nsnapshot 0 0\n",
+		"egs 4 1 true\nsnapshot 0 -5\n",
+		"egs 4 1 true\nsnapshot 0 99999999999999999\n",
+		"egs 4 1 true\nsnapshot 1 0\n",
+	} {
+		f.Add([]byte(s))
+	}
+	savedV, savedT := graph.MaxTextVertices, graph.MaxTextSnapshots
+	graph.MaxTextVertices = 1 << 12
+	graph.MaxTextSnapshots = 1 << 10
+	f.Cleanup(func() {
+		graph.MaxTextVertices, graph.MaxTextSnapshots = savedV, savedT
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		egs, err := graph.ReadEGS(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := graph.WriteEGS(&out, egs); err != nil {
+			t.Fatalf("WriteEGS on accepted input: %v", err)
+		}
+		if _, err := graph.ReadEGS(&out); err != nil {
+			t.Fatalf("re-parse of round-tripped input: %v", err)
+		}
+	})
+}

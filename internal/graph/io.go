@@ -34,6 +34,23 @@ import (
 //
 // WriteDeltas and ReadDeltas round-trip exactly.
 
+// MaxTextVertices bounds the vertex count the text parsers accept.
+// The formats are consumed from untrusted files, and the header's
+// vertex count drives O(V) allocations before a single edge line
+// proves the input is real — an absurd count must fail cleanly instead
+// of exhausting memory. It is a variable so tests (and tools that
+// really do handle larger graphs) can adjust it.
+var MaxTextVertices = 1 << 24
+
+// MaxTextSnapshots bounds the snapshot/batch count the text parsers
+// accept, for the same reason.
+var MaxTextSnapshots = 1 << 20
+
+// textPrealloc caps optimistic slice preallocation from untrusted
+// header counts: growth beyond it is paid only as matching input lines
+// actually arrive.
+const textPrealloc = 1 << 16
+
 // WriteEGS serializes an EGS in the text format.
 func WriteEGS(w io.Writer, s *EGS) error {
 	bw := bufio.NewWriter(w)
@@ -81,7 +98,10 @@ func ReadEGS(r io.Reader) (*EGS, error) {
 	if n <= 0 || T <= 0 {
 		return nil, fmt.Errorf("graph: non-positive dimensions in header %q", head)
 	}
-	snaps := make([]*Graph, 0, T)
+	if n > MaxTextVertices || T > MaxTextSnapshots {
+		return nil, fmt.Errorf("graph: header %q exceeds limits (V <= %d, T <= %d)", head, MaxTextVertices, MaxTextSnapshots)
+	}
+	snaps := make([]*Graph, 0, min(T, textPrealloc))
 	for t := 0; t < T; t++ {
 		h, ok := next()
 		if !ok {
@@ -94,7 +114,10 @@ func ReadEGS(r io.Reader) (*EGS, error) {
 		if idx != t {
 			return nil, fmt.Errorf("graph: snapshot %d out of order (want %d)", idx, t)
 		}
-		edges := make([]Edge, 0, m)
+		if m < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative edge count %d", line, m)
+		}
+		edges := make([]Edge, 0, min(m, textPrealloc))
 		for k := 0; k < m; k++ {
 			l, ok := next()
 			if !ok {
@@ -177,6 +200,9 @@ func ReadDeltas(r io.Reader) (*Graph, [][]EdgeEvent, error) {
 	if n <= 0 || T <= 0 {
 		return nil, nil, fmt.Errorf("graph: non-positive dimensions in header %q", head)
 	}
+	if n > MaxTextVertices || T > MaxTextSnapshots {
+		return nil, nil, fmt.Errorf("graph: header %q exceeds limits (V <= %d, T <= %d)", head, MaxTextVertices, MaxTextSnapshots)
+	}
 	h, ok := next()
 	if !ok {
 		return nil, nil, fmt.Errorf("graph: truncated delta input before init block")
@@ -185,7 +211,10 @@ func ReadDeltas(r io.Reader) (*Graph, [][]EdgeEvent, error) {
 	if _, err := fmt.Sscanf(h, "init %d", &m0); err != nil {
 		return nil, nil, fmt.Errorf("graph: line %d: bad init header %q", line, h)
 	}
-	edges := make([]Edge, 0, m0)
+	if m0 < 0 {
+		return nil, nil, fmt.Errorf("graph: line %d: negative edge count %d", line, m0)
+	}
+	edges := make([]Edge, 0, min(m0, textPrealloc))
 	for k := 0; k < m0; k++ {
 		l, ok := next()
 		if !ok {
@@ -203,7 +232,7 @@ func ReadDeltas(r io.Reader) (*Graph, [][]EdgeEvent, error) {
 		edges = append(edges, Edge{From: u, To: v})
 	}
 	initial := New(n, directed, edges)
-	batches := make([][]EdgeEvent, 0, T-1)
+	batches := make([][]EdgeEvent, 0, min(T-1, textPrealloc))
 	for t := 1; t < T; t++ {
 		h, ok := next()
 		if !ok {
@@ -216,7 +245,10 @@ func ReadDeltas(r io.Reader) (*Graph, [][]EdgeEvent, error) {
 		if idx != t {
 			return nil, nil, fmt.Errorf("graph: batch %d out of order (want %d)", idx, t)
 		}
-		evs := make([]EdgeEvent, 0, k)
+		if k < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: negative event count %d", line, k)
+		}
+		evs := make([]EdgeEvent, 0, min(k, textPrealloc))
 		for e := 0; e < k; e++ {
 			l, ok := next()
 			if !ok {

@@ -68,6 +68,17 @@ type Config struct {
 	// means measures.DefaultReachFraction; >= 1 never falls back;
 	// negative disables the sparse path entirely.
 	SparseReachFrac float64
+	// SpillDir, when non-empty, turns eviction from the bounded
+	// snapshot store into disk spilling: evicted snapshots are written
+	// there (see internal/store's solver codec) and transparently
+	// reloaded — and re-pinned — when a query addresses them. The
+	// directory's index is rescanned at engine construction, so spill
+	// files from a previous process stay queryable. Empty keeps the
+	// classic drop-on-evict behavior.
+	SpillDir string
+	// SpillKeep bounds how many spilled snapshots are retained on disk
+	// (oldest indices deleted past it). <= 0 means 4096.
+	SpillKeep int
 }
 
 // Query is one measure request.
@@ -138,6 +149,13 @@ type Stats struct {
 	LiveAttached bool   `json:"live_attached"`
 	LiveQueries  int64  `json:"live_queries"`
 	LiveVersion  uint64 `json:"live_version"`
+
+	// Disk-spill counters (Config.SpillDir): snapshots written on
+	// eviction, transparent reloads on access, and spill-path failures
+	// (each of which degraded to the no-spill behavior).
+	SnapshotsSpilled int64 `json:"snapshots_spilled"`
+	SpillReloads     int64 `json:"spill_reloads"`
+	SpillErrors      int64 `json:"spill_errors"`
 }
 
 // HitRate returns the cache hit fraction over answered queries.
@@ -184,6 +202,24 @@ type Engine struct {
 	live        LiveSource
 	liveGen     uint64
 	liveQueries atomic.Int64
+
+	// Disk-spill state (see spill.go). spillMu guards the spilled-index
+	// set, the in-flight write queue, and the pending map; it is only
+	// ever taken alone or after e.mu, never before it. spillKick wakes
+	// the background writer.
+	spillMu                              sync.Mutex
+	spilled                              map[int]bool
+	spillPending                         map[int]*lu.Solver
+	spillQueue                           []evictedSnap
+	spillKick                            chan struct{}
+	spillWrites, spillLoads, spillErrors atomic.Int64
+}
+
+// evictedSnap carries an evicted snapshot out of the locked region of
+// Pin to the spill/purge path.
+type evictedSnap struct {
+	idx int
+	s   *lu.Solver
 }
 
 // snapEntry is one retained snapshot: the pinned solver plus the pin
@@ -221,12 +257,18 @@ func New(cfg Config) *Engine {
 		cfg.CacheSize = 1024
 	}
 	e := &Engine{
-		cfg:    cfg,
-		cache:  newLRUCache(cfg.CacheSize),
-		snaps:  make(map[int]snapEntry),
-		latest: -1,
-		tasks:  make(chan *task, 4*cfg.Workers),
-		closed: make(chan struct{}),
+		cfg:          cfg,
+		cache:        newLRUCache(cfg.CacheSize),
+		snaps:        make(map[int]snapEntry),
+		latest:       -1,
+		tasks:        make(chan *task, 4*cfg.Workers),
+		closed:       make(chan struct{}),
+		spilled:      make(map[int]bool),
+		spillPending: make(map[int]*lu.Solver),
+		spillKick:    make(chan struct{}, 1),
+	}
+	if cfg.SpillDir != "" {
+		e.initSpill()
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		e.wg.Add(1)
@@ -251,7 +293,7 @@ func (e *Engine) Close() {
 // consistently ErrUnknownSnapshot — never a mix depending on which
 // query happened to be cached.
 func (e *Engine) Pin(i int, s *lu.Solver) {
-	var evicted []int
+	var evicted []evictedSnap
 	e.mu.Lock()
 	e.gen++
 	if _, ok := e.snaps[i]; !ok {
@@ -264,8 +306,8 @@ func (e *Engine) Pin(i int, s *lu.Solver) {
 	for len(e.pinned) > e.cfg.MaxSnapshots {
 		old := e.pinned[0]
 		e.pinned = e.pinned[1:]
+		evicted = append(evicted, evictedSnap{idx: old, s: e.snaps[old].s})
 		delete(e.snaps, old)
-		evicted = append(evicted, old)
 		e.snapEvicted.Add(1)
 	}
 	if _, ok := e.snaps[e.latest]; !ok {
@@ -281,12 +323,17 @@ func (e *Engine) Pin(i int, s *lu.Solver) {
 	}
 	e.mu.Unlock()
 	e.pinCount.Add(1)
-	for _, old := range evicted {
-		// All generations of the evicted index: memory hygiene — the
-		// store lookup already 404s it — and it keeps CacheEntries an
-		// honest gauge of answers that can still be served.
-		e.cache.purgePrefix(strconv.Itoa(old) + "#")
+	if e.spillEnabled() {
+		// A fresh pin supersedes any spill file (or in-flight spill
+		// write) for the index: the factors on disk may be stale, so
+		// the marks are dropped and a later eviction re-spills the
+		// current ones.
+		e.spillMu.Lock()
+		delete(e.spilled, i)
+		delete(e.spillPending, i)
+		e.spillMu.Unlock()
 	}
+	e.handleEvicted(evicted)
 }
 
 // OnFactors adapts Pin to the core.Options.OnFactors signature. Use it
@@ -335,6 +382,9 @@ func (e *Engine) Stats() Stats {
 		SparseSolves:     e.sparseSolves.Load(),
 		DenseSolves:      e.denseSolves.Load(),
 		SparseFallbacks:  e.sparseFallbacks.Load(),
+		SnapshotsSpilled: e.spillWrites.Load(),
+		SpillReloads:     e.spillLoads.Load(),
+		SpillErrors:      e.spillErrors.Load(),
 	}
 	if den := e.reachDen.Load(); den > 0 {
 		st.AvgReachFrac = float64(e.reachRows.Load()) / float64(den)
@@ -460,7 +510,22 @@ func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
 		return nil, ErrNoSnapshots
 	}
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownSnapshot, snap)
+		// Transparent reload of a spilled snapshot: read it back,
+		// re-pin it (possibly spilling another cold snapshot), and
+		// serve. The re-lookup below picks up the fresh pin generation
+		// for the cache key; losing the race to an immediate re-evict
+		// just answers uncached from the loaded solver.
+		sv, loaded := e.loadSpilled(snap)
+		if !loaded {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownSnapshot, snap)
+		}
+		e.Pin(snap, sv)
+		e.mu.RLock()
+		entry, ok = e.snaps[snap]
+		e.mu.RUnlock()
+		if !ok {
+			return e.answerSolver(q, sv, damping, snap, "", 0, false, w)
+		}
 	}
 	return e.answerSolver(q, entry.s, damping, snap, pinnedPrefix(snap, entry.gen), 0, false, w)
 }
@@ -508,12 +573,18 @@ func (e *Engine) answerSolver(q Query, solver *lu.Solver, damping float64, snap 
 		return nil, fmt.Errorf("serve: unknown measure %q", q.Measure)
 	}
 
-	key := keyPrefix + keySuffix(q.Measure, q.Source, seeds, q.K, damping)
-	if ans, ok := e.cache.get(key); ok {
-		e.hits.Add(1)
-		return respond(snap, q.Measure, damping, ans, true, version, live), nil
+	// An empty keyPrefix bypasses the cache entirely (used by the
+	// spill-reload race fallback, whose answers have no stable
+	// generation to key under).
+	var key string
+	if keyPrefix != "" {
+		key = keyPrefix + keySuffix(q.Measure, q.Source, seeds, q.K, damping)
+		if ans, ok := e.cache.get(key); ok {
+			e.hits.Add(1)
+			return respond(snap, q.Measure, damping, ans, true, version, live), nil
+		}
+		e.misses.Add(1)
 	}
-	e.misses.Add(1)
 
 	me := measures.NewSolverEngine(damping, solver)
 	frac := e.cfg.SparseReachFrac
@@ -561,7 +632,9 @@ func (e *Engine) answerSolver(q Query, solver *lu.Solver, damping float64, snap 
 		}
 	}
 	e.solves.Add(1)
-	e.cacheEvicted.Add(int64(e.cache.put(key, ans)))
+	if key != "" {
+		e.cacheEvicted.Add(int64(e.cache.put(key, ans)))
+	}
 	return respond(snap, q.Measure, damping, ans, false, version, live), nil
 }
 

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// waitSpilled polls until the background writer has persisted at least
+// want snapshots (spill writes are asynchronous — eviction happens on
+// the publish path and must not wait on disk).
+func waitSpilled(t *testing.T, eng *Engine, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Stats().SnapshotsSpilled < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("spill writer persisted %d snapshots, want %d", eng.Stats().SnapshotsSpilled, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSpillEvictReload pins more snapshots than the store bound with a
+// spill directory configured and asserts that evicted snapshots stay
+// queryable — answers bit-identical to an independent cold solve — and
+// that the spill counters account for the traffic.
+func TestSpillEvictReload(t *testing.T) {
+	dir := t.TempDir()
+	eng, ems, ref := pinnedEngine(t, Config{MaxSnapshots: 3, Workers: 2, SpillDir: dir})
+	defer eng.Close()
+	T := ems.Len()
+
+	if got := len(eng.Snapshots()); got != 3 {
+		t.Fatalf("retained %d snapshots, want 3", got)
+	}
+	waitSpilled(t, eng, int64(T-3))
+	files, _ := filepath.Glob(filepath.Join(dir, "spill-*.snap"))
+	if len(files) != T-3 {
+		t.Fatalf("spilled %d files, want %d", len(files), T-3)
+	}
+
+	// Every snapshot — pinned or spilled — must answer, bit-identical
+	// to the cold reference.
+	for i := 0; i < T; i++ {
+		q := Query{Snapshot: i, Measure: MeasureRWR, Source: 5}
+		resp, err := eng.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		_, want := coldAnswer(q, ref[i])
+		if !reflect.DeepEqual(want, resp.Scores) {
+			t.Errorf("snapshot %d: spilled answer differs from cold solve", i)
+		}
+	}
+	st := eng.Stats()
+	if st.SpillReloads == 0 {
+		t.Error("no spill reloads recorded despite cold-snapshot queries")
+	}
+	if st.SnapshotsSpilled < int64(T-3) {
+		t.Errorf("SnapshotsSpilled = %d, want >= %d", st.SnapshotsSpilled, T-3)
+	}
+	if st.SpillErrors != 0 {
+		t.Errorf("SpillErrors = %d, want 0", st.SpillErrors)
+	}
+
+	// Reloading pins the snapshot again, so an immediate repeat query
+	// is served from memory (and may now hit the cache).
+	q := Query{Snapshot: 0, Measure: MeasureRWR, Source: 5}
+	if _, err := eng.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("repeat query after reload did not hit the cache")
+	}
+}
+
+// TestSpillSurvivesRestart pins history with one engine, closes it
+// (draining the spill writer), and asserts a fresh engine over the same
+// directory — the post-restart world — still serves the spilled
+// snapshots bit-identically.
+func TestSpillSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	eng1, ems, ref := pinnedEngine(t, Config{MaxSnapshots: 3, Workers: 1, SpillDir: dir})
+	T := ems.Len()
+	eng1.Close() // drains pending spill writes
+
+	eng2 := New(Config{MaxSnapshots: 3, Workers: 1, SpillDir: dir, Damping: testDamping})
+	defer eng2.Close()
+	for i := 0; i < T-3; i++ {
+		q := Query{Snapshot: i, Measure: MeasureRWR, Source: 7}
+		resp, err := eng2.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("snapshot %d after restart: %v", i, err)
+		}
+		_, want := coldAnswer(q, ref[i])
+		if !reflect.DeepEqual(want, resp.Scores) {
+			t.Errorf("snapshot %d after restart: answer differs from cold solve", i)
+		}
+	}
+	if eng2.Stats().SpillReloads == 0 {
+		t.Error("restarted engine served no queries from the spill index")
+	}
+}
+
+// TestSpillRetentionBound pins more history than SpillKeep allows and
+// asserts the oldest spill files are deleted.
+func TestSpillRetentionBound(t *testing.T) {
+	dir := t.TempDir()
+	eng, ems, _ := pinnedEngine(t, Config{MaxSnapshots: 2, Workers: 1, SpillDir: dir, SpillKeep: 3})
+	defer eng.Close()
+	T := ems.Len()
+	spillable := T - 2
+	waitSpilled(t, eng, int64(spillable))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		files, _ := filepath.Glob(filepath.Join(dir, "spill-*.snap"))
+		if len(files) <= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retention left %d spill files, want <= 3", len(files))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The newest spilled snapshot must still load; the oldest must 404.
+	if _, err := eng.Query(context.Background(), Query{Snapshot: spillable - 1, Measure: MeasureRWR, Source: 1}); err != nil {
+		t.Errorf("newest spilled snapshot unreachable: %v", err)
+	}
+	if _, err := eng.Query(context.Background(), Query{Snapshot: 0, Measure: MeasureRWR, Source: 1}); !errors.Is(err, ErrUnknownSnapshot) {
+		t.Errorf("retention-evicted snapshot: %v, want ErrUnknownSnapshot", err)
+	}
+}
+
+// TestSpillDisabledKeepsDropBehavior pins more than the bound without
+// a spill dir: evicted snapshots must 404 exactly as before.
+func TestSpillDisabledKeepsDropBehavior(t *testing.T) {
+	eng, _, _ := pinnedEngine(t, Config{MaxSnapshots: 3, Workers: 1})
+	defer eng.Close()
+	_, err := eng.Query(context.Background(), Query{Snapshot: 0, Measure: MeasureRWR, Source: 1})
+	if !errors.Is(err, ErrUnknownSnapshot) {
+		t.Fatalf("evicted snapshot without spill dir: %v, want ErrUnknownSnapshot", err)
+	}
+	if got := len(eng.Snapshots()); got != 3 {
+		t.Fatalf("retained %d, want 3", got)
+	}
+}
+
+// TestSpillCorruptFileDegrades corrupts a spill file and asserts the
+// engine degrades to ErrUnknownSnapshot with the error counted, rather
+// than serving garbage or failing the worker.
+func TestSpillCorruptFileDegrades(t *testing.T) {
+	dir := t.TempDir()
+	eng, ems, _ := pinnedEngine(t, Config{MaxSnapshots: 3, Workers: 1, SpillDir: dir})
+	defer eng.Close()
+	// Wait for the writer to settle so the corruption cannot be
+	// overwritten by an in-flight spill (and the pending queue is
+	// empty, forcing the disk path).
+	waitSpilled(t, eng, int64(ems.Len()-3))
+	path := filepath.Join(dir, "spill-0.snap")
+	if err := os.WriteFile(path, []byte("CLUS\x01 definitely not a solver"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Query(context.Background(), Query{Snapshot: 0, Measure: MeasureRWR, Source: 1})
+	if !errors.Is(err, ErrUnknownSnapshot) {
+		t.Fatalf("corrupt spill: %v, want ErrUnknownSnapshot", err)
+	}
+	if eng.Stats().SpillErrors == 0 {
+		t.Error("corrupt spill not counted in SpillErrors")
+	}
+}

@@ -1,0 +1,80 @@
+package sparse
+
+import "fmt"
+
+// This file is the persistence face of the sparse containers: raw
+// array access for serialization and validating constructors for
+// deserialization. The containers themselves stay immutable — a
+// restored object is indistinguishable from the one that was written
+// (the store codec's round-trip tests pin this down bit for bit).
+
+// Arrays exposes the CSR's internal storage (row pointers, column
+// indices, values). The slices alias the matrix and must not be
+// modified.
+func (m *CSR) Arrays() (rowPtr, colIdx []int, vals []float64) {
+	return m.rowPtr, m.colIdx, m.vals
+}
+
+// CSRFromArrays rebuilds a CSR from its raw storage, taking ownership
+// of the slices. It validates the structural invariants (monotone row
+// pointers, sorted duplicate-free in-range columns) so corrupt or
+// hostile input yields an error, never a matrix that panics later.
+func CSRFromArrays(n int, rowPtr, colIdx []int, vals []float64) (*CSR, error) {
+	if err := validateCSRArrays(n, rowPtr, colIdx); err != nil {
+		return nil, err
+	}
+	if len(vals) != len(colIdx) {
+		return nil, fmt.Errorf("sparse: %d values for %d column indices", len(vals), len(colIdx))
+	}
+	return &CSR{n: n, rowPtr: rowPtr, colIdx: colIdx, vals: vals}, nil
+}
+
+// PatternArrays exposes the pattern's internal storage. The slices
+// alias the pattern and must not be modified.
+func (p *Pattern) PatternArrays() (rowPtr, colIdx []int) {
+	return p.rowPtr, p.colIdx
+}
+
+// PatternFromArrays rebuilds a Pattern from its raw storage, taking
+// ownership of the slices and validating the same invariants as
+// CSRFromArrays.
+func PatternFromArrays(n int, rowPtr, colIdx []int) (*Pattern, error) {
+	if err := validateCSRArrays(n, rowPtr, colIdx); err != nil {
+		return nil, err
+	}
+	return &Pattern{n: n, rowPtr: rowPtr, colIdx: colIdx}, nil
+}
+
+// validateCSRArrays checks the shared compressed-row invariants.
+func validateCSRArrays(n int, rowPtr, colIdx []int) error {
+	if n < 0 {
+		return fmt.Errorf("sparse: negative dimension %d", n)
+	}
+	if len(rowPtr) != n+1 {
+		return fmt.Errorf("sparse: rowPtr length %d for dimension %d", len(rowPtr), n)
+	}
+	if rowPtr[0] != 0 {
+		return fmt.Errorf("sparse: rowPtr must start at 0")
+	}
+	for i := 0; i < n; i++ {
+		if rowPtr[i+1] < rowPtr[i] {
+			return fmt.Errorf("sparse: rowPtr not monotone at row %d", i)
+		}
+	}
+	if rowPtr[n] != len(colIdx) {
+		return fmt.Errorf("sparse: rowPtr end %d does not match %d column indices", rowPtr[n], len(colIdx))
+	}
+	for i := 0; i < n; i++ {
+		prev := -1
+		for _, j := range colIdx[rowPtr[i]:rowPtr[i+1]] {
+			if j < 0 || j >= n {
+				return fmt.Errorf("sparse: column %d of row %d outside [0,%d)", j, i, n)
+			}
+			if j <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly ascending", i)
+			}
+			prev = j
+		}
+	}
+	return nil
+}

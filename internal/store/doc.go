@@ -1,0 +1,37 @@
+// Package store is the durability subsystem of the streaming pipeline:
+// versioned binary codecs for the factor containers and graph state, a
+// segment-based write-ahead log of edge-delta batches, and ARIES-style
+// checkpoint + log recovery that hands the serving layer a fully warm
+// solver at the exact pre-crash version.
+//
+// The paper's central economy is that LU factors over an evolving graph
+// sequence are expensive to build and cheap to reuse; this package
+// extends that economy across process lifetimes. Three layers:
+//
+//   - Codec (codec.go, factors.go, graphio.go, state.go): length- and
+//     checksum-framed binary encodings for lu.StaticFactors,
+//     lu.DynamicFactors, graph.Graph, sparse patterns/matrices/
+//     orderings, the cluster tracker, and the complete core.StreamState.
+//     Only primary structure is written; derived indices (factor cross
+//     views, column mirrors) are reassembled on read, so round trips
+//     are bit-identical by construction.
+//
+//   - WAL (wal.go): every validated batch is appended — CRC-framed,
+//     sequence-numbered, fsync policy configurable — through the
+//     core.StreamConfig.LogBatch hook BEFORE any in-memory state
+//     mutates. Segments rotate by size and are truncated once a
+//     retained snapshot covers them. Torn tails are detected and
+//     physically discarded on open.
+//
+//   - Recovery (store.go): Store.OpenStream loads the newest snapshot
+//     that passes its checksum (falling back to older ones on
+//     corruption), restores the stream via core.RestoreStream, and
+//     replays the WAL tail through Stream.ReplayBatch — the exact code
+//     path live batches take — so the recovered factors are
+//     bit-identical to an uninterrupted run at the same version.
+//     Snapshots are written in the background every SnapshotEvery
+//     published versions, plus once on Close for replay-free restarts.
+//
+// See docs/PERSISTENCE.md for the on-disk layout, the format versioning
+// policy, and the fsync/durability trade-offs.
+package store

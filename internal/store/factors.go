@@ -1,0 +1,263 @@
+package store
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/lu"
+	"repro/internal/sparse"
+)
+
+// Factor, solver and sparse-container codecs. WriteFactors/ReadFactors
+// are the public round-trip for a single factor container; the
+// unexported helpers encode the sparse building blocks (patterns,
+// matrices, permutations) into an already-open frame and are shared by
+// the stream-state codec.
+
+const (
+	factorsMagic = "CLUF"
+	solverMagic  = "CLUS"
+
+	kindStatic  = 0
+	kindDynamic = 1
+)
+
+// WriteFactors serializes a factor container — static or dynamic — as a
+// self-contained checksummed frame. Only primary structure is written;
+// the derived indices are reassembled on read (see lu.AssembleStatic /
+// lu.AssembleDynamic), which is what makes the round trip bit-identical
+// by construction rather than by trusting the input.
+func WriteFactors(w io.Writer, f lu.Factors) error {
+	c := newCW(w)
+	c.header(factorsMagic, 1)
+	writeFactorsBody(c, f)
+	if c.err != nil {
+		return c.err
+	}
+	return c.seal()
+}
+
+// ReadFactors parses a WriteFactors frame back into a container of the
+// same concrete type.
+func ReadFactors(r io.Reader) (lu.Factors, error) {
+	c := newCR(r)
+	if _, err := c.expectHeader(factorsMagic, 1); err != nil {
+		return nil, err
+	}
+	f := readFactorsBody(c)
+	if c.err != nil {
+		return nil, c.err
+	}
+	if err := c.verify(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// writeFactorsBody encodes the container into an open frame.
+func writeFactorsBody(c *cw, f lu.Factors) {
+	switch t := f.(type) {
+	case *lu.StaticFactors:
+		c.u64(kindStatic)
+		c.i64(int64(t.Dim()))
+		c.ints(t.LColPtr)
+		c.ints(t.LRowIdx)
+		c.floats(t.LVal)
+		c.ints(t.URowPtr)
+		c.ints(t.UColIdx)
+		c.floats(t.UVal)
+		c.floats(t.D)
+	case *lu.DynamicFactors:
+		c.u64(kindDynamic)
+		c.i64(int64(t.Dim()))
+		c.u64(uint64(len(t.Nodes)))
+		for _, nd := range t.Nodes {
+			c.i64(int64(nd.Idx))
+			c.f64(nd.Val)
+			c.i64(int64(nd.Next))
+		}
+		c.ints(t.LHead)
+		c.ints(t.UHead)
+		c.floats(t.D)
+		c.i64(int64(t.Inserts))
+		c.i64(int64(t.ScanSteps))
+	default:
+		if c.err == nil {
+			c.err = fmt.Errorf("store: unsupported factor container %T", f)
+		}
+	}
+}
+
+// readFactorsBody decodes one container from an open frame.
+func readFactorsBody(c *cr) lu.Factors {
+	switch kind := c.u64(); kind {
+	case kindStatic:
+		n := c.intv()
+		lColPtr := c.ints()
+		lRowIdx := c.ints()
+		lVal := c.floats()
+		uRowPtr := c.ints()
+		uColIdx := c.ints()
+		uVal := c.floats()
+		d := c.floats()
+		if c.err != nil {
+			return nil
+		}
+		f, err := lu.AssembleStatic(n, lColPtr, lRowIdx, lVal, uRowPtr, uColIdx, uVal, d)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+			return nil
+		}
+		return f
+	case kindDynamic:
+		n := c.intv()
+		cnt := c.length(maxSliceLen)
+		nodes := make([]lu.ListNode, 0, min(cnt, preallocCap))
+		for i := 0; i < cnt && c.err == nil; i++ {
+			nodes = append(nodes, lu.ListNode{Idx: c.intv(), Val: c.f64(), Next: c.intv()})
+		}
+		lHead := c.ints()
+		uHead := c.ints()
+		d := c.floats()
+		inserts := c.intv()
+		scans := c.intv()
+		if c.err != nil {
+			return nil
+		}
+		f, err := lu.AssembleDynamic(n, nodes, lHead, uHead, d, inserts, scans)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+			return nil
+		}
+		return f
+	default:
+		c.fail(fmt.Errorf("%w: unknown factor kind %d", ErrCorrupt, kind))
+		return nil
+	}
+}
+
+// writePerm / readPerm encode a permutation (validated as a bijection
+// on read).
+func writePerm(c *cw, p sparse.Perm) { c.ints([]int(p)) }
+
+func readPerm(c *cr) sparse.Perm {
+	p := sparse.Perm(c.ints())
+	if c.err == nil && !p.Valid() {
+		c.fail(fmt.Errorf("%w: permutation is not a bijection", ErrCorrupt))
+		return nil
+	}
+	return p
+}
+
+// writeOrdering / readOrdering encode O = (P, Q).
+func writeOrdering(c *cw, o sparse.Ordering) {
+	writePerm(c, o.Row)
+	writePerm(c, o.Col)
+}
+
+func readOrdering(c *cr) sparse.Ordering {
+	row := readPerm(c)
+	col := readPerm(c)
+	if c.err == nil && len(row) != len(col) {
+		c.fail(fmt.Errorf("%w: ordering permutation sizes differ (%d vs %d)", ErrCorrupt, len(row), len(col)))
+	}
+	return sparse.Ordering{Row: row, Col: col}
+}
+
+// writePattern / readPattern encode a sparsity pattern; nil is legal
+// (absence flag).
+func writePattern(c *cw, p *sparse.Pattern) {
+	if p == nil {
+		c.bool(false)
+		return
+	}
+	c.bool(true)
+	rowPtr, colIdx := p.PatternArrays()
+	c.i64(int64(p.N()))
+	c.ints(rowPtr)
+	c.ints(colIdx)
+}
+
+func readPattern(c *cr) *sparse.Pattern {
+	if !c.bool() || c.err != nil {
+		return nil
+	}
+	n := c.intv()
+	rowPtr := c.ints()
+	colIdx := c.ints()
+	if c.err != nil {
+		return nil
+	}
+	p, err := sparse.PatternFromArrays(n, rowPtr, colIdx)
+	if err != nil {
+		c.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+		return nil
+	}
+	return p
+}
+
+// writeCSR / readCSR encode a sparse matrix; nil is legal.
+func writeCSR(c *cw, m *sparse.CSR) {
+	if m == nil {
+		c.bool(false)
+		return
+	}
+	c.bool(true)
+	rowPtr, colIdx, vals := m.Arrays()
+	c.i64(int64(m.N()))
+	c.ints(rowPtr)
+	c.ints(colIdx)
+	c.floats(vals)
+}
+
+func readCSR(c *cr) *sparse.CSR {
+	if !c.bool() || c.err != nil {
+		return nil
+	}
+	n := c.intv()
+	rowPtr := c.ints()
+	colIdx := c.ints()
+	vals := c.floats()
+	if c.err != nil {
+		return nil
+	}
+	m, err := sparse.CSRFromArrays(n, rowPtr, colIdx, vals)
+	if err != nil {
+		c.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+		return nil
+	}
+	return m
+}
+
+// WriteSolver serializes a solver (ordering + factors) as one frame —
+// the unit the serving layer spills evicted snapshots as.
+func WriteSolver(w io.Writer, s *lu.Solver) error {
+	c := newCW(w)
+	c.header(solverMagic, 1)
+	writeOrdering(c, s.O)
+	writeFactorsBody(c, s.F)
+	if c.err != nil {
+		return c.err
+	}
+	return c.seal()
+}
+
+// ReadSolver parses a WriteSolver frame.
+func ReadSolver(r io.Reader) (*lu.Solver, error) {
+	c := newCR(r)
+	if _, err := c.expectHeader(solverMagic, 1); err != nil {
+		return nil, err
+	}
+	o := readOrdering(c)
+	f := readFactorsBody(c)
+	if c.err != nil {
+		return nil, c.err
+	}
+	if err := c.verify(); err != nil {
+		return nil, err
+	}
+	if o.N() != f.Dim() {
+		return nil, fmt.Errorf("%w: ordering dimension %d does not match factors %d", ErrCorrupt, o.N(), f.Dim())
+	}
+	return &lu.Solver{F: f, O: o}, nil
+}

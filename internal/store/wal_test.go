@@ -1,0 +1,200 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func walEvents(k int) []graph.EdgeEvent {
+	return []graph.EdgeEvent{
+		{From: k, To: k + 1, Op: graph.EdgeInsert},
+		{From: k + 1, To: k + 2, Op: graph.EdgeDelete},
+	}
+}
+
+func collect(t *testing.T, w *WAL, from uint64) map[uint64][]graph.EdgeEvent {
+	t.Helper()
+	got := map[uint64][]graph.EdgeEvent{}
+	if err := w.Replay(from, func(seq uint64, evs []graph.EdgeEvent) error {
+		got[seq] = evs
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 9; seq++ {
+		if err := w.Append(seq, walEvents(int(seq))); err != nil {
+			t.Fatalf("append %d: %v", seq, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastSeq() != 9 {
+		t.Fatalf("LastSeq = %d, want 9", w2.LastSeq())
+	}
+	got := collect(t, w2, 4)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records from seq 4, want 5", len(got))
+	}
+	for seq := uint64(5); seq <= 9; seq++ {
+		if !reflect.DeepEqual(got[seq], walEvents(int(seq))) {
+			t.Errorf("record %d mismatch: %v", seq, got[seq])
+		}
+	}
+	// Appends continue after reopen.
+	if err := w2.Append(10, walEvents(10)); err != nil {
+		t.Fatal(err)
+	}
+	if len(collect(t, w2, 0)) != 10 {
+		t.Error("post-reopen append not replayable")
+	}
+}
+
+func TestWALTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := w.Append(seq, walEvents(int(seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(segs))
+	}
+	// Simulate a crash mid-append: half a record's worth of garbage.
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x22, 0x00, 0x00, 0x00, 0xde, 0xad})
+	f.Close()
+
+	w2, err := OpenWAL(dir, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastSeq() != 3 {
+		t.Fatalf("LastSeq after torn tail = %d, want 3", w2.LastSeq())
+	}
+	if got := collect(t, w2, 0); len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	// The torn bytes must be physically gone so new appends are framed
+	// correctly.
+	if err := w2.Append(4, walEvents(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, w2, 0); len(got) != 4 {
+		t.Fatalf("after post-truncation append: %d records, want 4", len(got))
+	}
+}
+
+func TestWALRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every couple of records.
+	w, err := OpenWAL(dir, SyncNone, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for seq := uint64(1); seq <= 20; seq++ {
+		if err := w.Append(seq, walEvents(int(seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	if got := collect(t, w, 0); len(got) != 20 {
+		t.Fatalf("replayed %d records across segments, want 20", len(got))
+	}
+	if err := w.TruncateThrough(15); err != nil {
+		t.Fatal(err)
+	}
+	// Records beyond the truncation point must survive.
+	got := collect(t, w, 15)
+	for seq := uint64(16); seq <= 20; seq++ {
+		if _, ok := got[seq]; !ok {
+			t.Errorf("record %d lost by truncation", seq)
+		}
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(after) >= len(segs) {
+		t.Errorf("truncation removed no segments (%d -> %d)", len(segs), len(after))
+	}
+}
+
+// TestWALRefusesNewerFormatVersion pins the versioning policy on the
+// log itself: a segment written by a newer binary is acknowledged
+// durable data, so a rollback must fail loudly at open — never treat
+// the segment as garbage and delete it.
+func TestWALRefusesNewerFormatVersion(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, walEvents(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = walVersion + 1
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(dir, SyncAlways, 0); err == nil {
+		t.Fatal("OpenWAL accepted a segment with a newer format version")
+	}
+	if after, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(after) != 1 {
+		t.Fatalf("refusing open must not delete the segment (have %d files)", len(after))
+	}
+}
+
+func TestWALRejectsNonMonotoneSeq(t *testing.T) {
+	w, err := OpenWAL(t.TempDir(), SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(5, walEvents(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, walEvents(2)); err == nil {
+		t.Error("duplicate sequence accepted")
+	}
+	if err := w.Append(4, walEvents(3)); err == nil {
+		t.Error("regressing sequence accepted")
+	}
+}
