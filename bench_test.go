@@ -99,6 +99,12 @@ func BenchmarkStreamingIngest(b *testing.B) { benchExperiment(b, "streaming") }
 // WAL fsync toll on ingest.
 func BenchmarkPersistenceRestart(b *testing.B) { benchExperiment(b, "persistence") }
 
+// BenchmarkLoadTestServing runs the serving pipeline load experiment:
+// single-flight coalescing, blocked multi-RHS solves, and admission
+// shedding against the unbatched single-solve baseline (see
+// internal/bench.LoadTest).
+func BenchmarkLoadTestServing(b *testing.B) { benchExperiment(b, "loadtest") }
+
 // BenchmarkParallelWorkers runs each LUDEM algorithm end-to-end across
 // engine pool sizes (compare sub-benchmark ns/op to see the scaling;
 // on a multi-core box CLUDE/workers=4 should be well under workers=1).

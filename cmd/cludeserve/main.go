@@ -46,6 +46,14 @@
 // snapshot defaults to -1: the live head in streaming mode, the latest
 // pinned snapshot otherwise.
 //
+// The query path is the admission-controlled pipeline of
+// docs/SERVING.md: identical concurrent queries coalesce into one
+// solve, compatible queued queries solve as one blocked multi-RHS
+// substitution (-solve-batch), and when the bounded queue (-queue) is
+// full the server sheds load immediately with HTTP 429 and a
+// Retry-After header instead of letting the backlog grow. A
+// -query-timeout bounds each query's time in the pipeline.
+//
 // On SIGINT/SIGTERM the server stops accepting requests, drains
 // in-flight queries and the ingest queue, and only then shuts the
 // engines down; a second signal force-kills.
@@ -86,6 +94,9 @@ func main() {
 		cacheSize = flag.Int("cache", 4096, "LRU result-cache entries")
 		maxSnaps  = flag.Int("snapshots", 0, "snapshot store bound (0 = retain the whole sequence)")
 		reachFrac = flag.Float64("sparse-frac", 0, "reach-fraction cap of the sparse solve path (0 = default heuristic, >=1 = always sparse, <0 = always dense)")
+		queueLen  = flag.Int("queue", 0, "admission queue depth; a full queue sheds with HTTP 429 (0 = 8x workers)")
+		batchMax  = flag.Int("solve-batch", 0, "max queued queries grouped into one blocked multi-RHS solve (0 = default, 1 = disable batching)")
+		queryTO   = flag.Duration("query-timeout", 0, "per-query deadline covering queue wait and solve (0 = none)")
 
 		streaming  = flag.Bool("stream", false, "streaming mode: live edge-delta ingestion via POST /update")
 		algName    = flag.String("alg", "CLUDE", "streaming maintenance strategy: BF | INC | CINC | CLUDE")
@@ -114,6 +125,9 @@ func main() {
 		CacheSize:       *cacheSize,
 		Damping:         d.Damping,
 		SparseReachFrac: *reachFrac,
+		QueueDepth:      *queueLen,
+		BatchMax:        *batchMax,
+		QueryTimeout:    *queryTO,
 	}
 	if *dataDir != "" {
 		// Evicted pinned snapshots spill to disk instead of vanishing,
@@ -276,6 +290,11 @@ func newMux(eng *serve.Engine, stream *core.Stream, batcher *core.Batcher, st *s
 		}
 		resp, err := eng.Query(r.Context(), q)
 		if err != nil {
+			if errors.Is(err, serve.ErrOverloaded) {
+				// Shedding is instantaneous, so the client may retry as
+				// soon as the current backlog drains.
+				w.Header().Set("Retry-After", "1")
+			}
 			writeError(w, statusFor(err), err)
 			return
 		}
@@ -449,6 +468,8 @@ func parseQuery(r *http.Request) (serve.Query, error) {
 
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, serve.ErrUnknownSnapshot), errors.Is(err, serve.ErrNoSnapshots):
 		return http.StatusNotFound
 	case errors.Is(err, serve.ErrClosed), errors.Is(err, core.ErrStreamClosed):

@@ -1,0 +1,400 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lu"
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+// LoadTest benchmarks the admission-controlled serving pipeline under
+// load (see docs/SERVING.md), isolating what each stage buys. Client
+// behavior is open-loop: arrivals are paced by a clock, not by
+// completions, so overload shows up as queue pressure and shedding
+// instead of silently slowing the clients down. Three tables:
+//
+//  1. A *stampede* — hot keys arrive in bursts of duplicates at ~4x
+//     the single-solve capacity, the thundering-herd shape of
+//     trending queries and expiring cache entries. The unbatched
+//     PR 2 path (NoSingleFlight, BatchMax 1) must solve or shed every
+//     duplicate, because under backlog a burst is fully in flight
+//     before its first solve lands in the cache. Single-flight
+//     collapses each burst to one solve, so goodput per core must
+//     clear ≥ 2x the baseline at an equal-or-better answered p99.
+//  2. A *distinct* overload — no duplicates, all against the hottest
+//     snapshot, ~2x capacity — where coalescing has nothing to do
+//     and the gain is the blocked multi-RHS solve alone
+//     (lu.Solver.SolveBlock amortizing factor traversal over the
+//     backlog), modest by design.
+//  3. An *overload sweep* of the full pipeline from 0.25x to 2x
+//     capacity: below capacity nothing sheds; at 2x the excess is
+//     shed promptly (ErrOverloaded) while the p99 of answered
+//     queries stays bounded by the queue instead of the backlog.
+//
+// The sparse reach-based path is disabled throughout: the Wiki graph
+// is a single strongly-connected blob with full reach, and the sparse
+// path has its own experiment (sparsesolve) on community graphs.
+func LoadTest(d Datasets) ([]*Table, error) {
+	_, ems, err := wikiEMS(d)
+	if err != nil {
+		return nil, err
+	}
+	solvers := make([]*lu.Solver, ems.Len())
+	if _, err := core.Run(ems, core.CLUDE, core.Options{
+		Workers:       d.Workers,
+		Alpha:         0.95,
+		RetainFactors: true,
+		OnFactors:     func(i int, s *lu.Solver) { solvers[i] = s },
+	}); err != nil {
+		return nil, err
+	}
+
+	workers := minInt(4, runtime.GOMAXPROCS(0))
+	lt := &loadTester{
+		solvers: solvers,
+		damping: d.Damping,
+		T:       ems.Len(),
+		n:       ems.N(),
+		workers: workers,
+	}
+
+	// Calibrate capacity: closed-loop saturation of the unbatched
+	// engine measures its sustainable solve throughput.
+	capRes, err := lt.closedLoop(serve.Config{NoSingleFlight: true, BatchMax: 1, SparseReachFrac: -1}, 2*workers, 400)
+	if err != nil {
+		return nil, err
+	}
+	capacity := capRes.qps()
+
+	configs := []struct {
+		name string
+		cfg  serve.Config
+	}{
+		{"pr2-unbatched", serve.Config{NoSingleFlight: true, BatchMax: 1, SparseReachFrac: -1}},
+		{"+coalesce", serve.Config{BatchMax: 1, SparseReachFrac: -1}},
+		{"+coalesce+block", serve.Config{BatchMax: 16, SparseReachFrac: -1}},
+	}
+
+	burst := 8
+	stampede := &Table{
+		Title: fmt.Sprintf("Stampede: bursts of %d duplicate queries offered at 4x capacity (~%s qps, Wiki n=%d T=%d, workers=%d)",
+			burst, f(capacity), ems.N(), ems.Len(), workers),
+		Header: []string{"config", "offered qps", "goodput/core", "shed frac", "ans p50", "ans p99", "coalesced", "blocks", "cold solves", "goodput/core speedup"},
+	}
+	var baseGPC float64
+	for _, c := range configs {
+		r, err := lt.openLoadReps(c.cfg, 4*capacity, burst, -1, 2)
+		if err != nil {
+			return nil, err
+		}
+		gpc := r.goodputPerCore(workers)
+		if baseGPC == 0 {
+			baseGPC = gpc
+		}
+		stampede.Rows = append(stampede.Rows, append(r.cells(c.name, workers), f(gpc/baseGPC)+"x"))
+	}
+
+	distinct := &Table{
+		Title:  "Distinct overload: unique hottest-snapshot queries offered at 2x capacity (nothing to coalesce; gain is the blocked solve)",
+		Header: stampede.Header,
+	}
+	baseGPC = 0
+	for _, c := range configs {
+		r, err := lt.openLoadReps(c.cfg, 2*capacity, 1, lt.T-1, 3)
+		if err != nil {
+			return nil, err
+		}
+		gpc := r.goodputPerCore(workers)
+		if baseGPC == 0 {
+			baseGPC = gpc
+		}
+		distinct.Rows = append(distinct.Rows, append(r.cells(c.name, workers), f(gpc/baseGPC)+"x"))
+	}
+
+	sweep := &Table{
+		Title:  "Overload sweep (full pipeline): excess load sheds fast and answered latency stays queue-bounded",
+		Header: []string{"offered/capacity", "offered qps", "goodput qps", "shed frac", "ans p95", "shed p99"},
+	}
+	for _, frac := range []float64{0.25, 0.5, 2.0} {
+		r, err := lt.openLoad(serve.Config{BatchMax: 16, SparseReachFrac: -1}, frac*capacity, 1, -1)
+		if err != nil {
+			return nil, err
+		}
+		sweep.Rows = append(sweep.Rows, []string{
+			fmt.Sprintf("%.2fx", frac),
+			f(r.offeredQPS()),
+			f(r.goodputQPS()),
+			f(r.shedFrac()),
+			durUS(pctl(r.ansLat, 0.95)),
+			durUS(pctl(r.shedLat, 0.99)),
+		})
+	}
+
+	return []*Table{stampede, distinct, sweep}, nil
+}
+
+// loadTester shares the pinned solvers and workload parameters across
+// the configurations under test.
+type loadTester struct {
+	solvers []*lu.Solver
+	damping float64
+	T, n    int
+	workers int
+}
+
+// newEngine builds one engine under test around the shared solvers.
+func (lt *loadTester) newEngine(cfg serve.Config) *serve.Engine {
+	cfg.Workers = lt.workers
+	cfg.Damping = lt.damping
+	cfg.MaxSnapshots = lt.T
+	// A bounded queue that absorbs arrival jitter (time.Sleep
+	// granularity bunches paced arrivals) but keeps worst-case
+	// waiting at a few dozen solves; beyond it, excess load sheds.
+	cfg.QueueDepth = 64
+	// Tiny cache relative to the key space: bursts are absorbed by
+	// coalescing (or not), never by pure cache capacity.
+	cfg.CacheSize = 32
+	eng := serve.New(cfg)
+	// Engines only read pinned solvers, so the runs can share them.
+	for i, s := range lt.solvers {
+		eng.Pin(i, s)
+	}
+	return eng
+}
+
+// loadQuery derives one deterministic query, RWR-dominant with
+// sources spread over all n nodes so distinct streams rarely
+// collide. snap pins the snapshot; snap < 0 draws it at random.
+func loadQuery(rng *xrand.Rand, T, n int, snap int) serve.Query {
+	q := serve.Query{Snapshot: snap}
+	if snap < 0 {
+		q.Snapshot = rng.Intn(T)
+	}
+	switch rng.Intn(8) {
+	case 0:
+		q.Measure = serve.MeasurePPR
+		q.Sources = []int{rng.Intn(n), rng.Intn(n)}
+	case 1:
+		q.Measure = serve.MeasureTopK
+		q.Source = rng.Intn(n)
+		q.K = 1 + rng.Intn(10)
+	default:
+		q.Measure = serve.MeasureRWR
+		q.Source = rng.Intn(n)
+	}
+	return q
+}
+
+// closedLoopResult is a saturation run's outcome, used to calibrate
+// capacity for the open-loop tables.
+type closedLoopResult struct {
+	total int
+	wall  time.Duration
+}
+
+func (r *closedLoopResult) qps() float64 { return float64(r.total) / r.wall.Seconds() }
+
+// closedLoop saturates the engine with clients that issue unique
+// queries back to back, measuring sustainable throughput.
+func (lt *loadTester) closedLoop(cfg serve.Config, clients, perClient int) (*closedLoopResult, error) {
+	errc := make(chan error, clients)
+	eng := lt.newEngine(cfg)
+	defer eng.Close()
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		rng := xrand.New(uint64(101 + c))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < perClient; i++ {
+				if _, err := eng.Query(ctx, loadQuery(rng, lt.T, lt.n, -1)); err != nil {
+					errc <- fmt.Errorf("bench: loadtest closed-loop: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	return &closedLoopResult{total: clients * perClient, wall: wall}, nil
+}
+
+// openResult is one open-loop run's outcome. ansLat and shedLat are
+// ascending.
+type openResult struct {
+	total    int
+	answered int64
+	shed     int64
+	wall     time.Duration
+	ansLat   []time.Duration
+	shedLat  []time.Duration
+	st       serve.Stats
+}
+
+func (r *openResult) offeredQPS() float64 { return float64(r.total) / r.wall.Seconds() }
+func (r *openResult) goodputQPS() float64 { return float64(r.answered) / r.wall.Seconds() }
+func (r *openResult) shedFrac() float64   { return float64(r.shed) / float64(r.total) }
+func (r *openResult) goodputPerCore(workers int) float64 {
+	return r.goodputQPS() / float64(workers)
+}
+
+func (r *openResult) cells(name string, workers int) []string {
+	return []string{
+		name,
+		f(r.offeredQPS()),
+		f(r.goodputPerCore(workers)),
+		f(r.shedFrac()),
+		durUS(pctl(r.ansLat, 0.50)),
+		durUS(pctl(r.ansLat, 0.99)),
+		fmt.Sprint(r.st.Coalesced),
+		fmt.Sprint(r.st.BlockSolves),
+		fmt.Sprint(r.st.ColdSolves),
+	}
+}
+
+// openLoadReps runs openLoad reps times against fresh engines and
+// pools the outcomes, damping GC- and scheduler-induced tail noise
+// on small machines.
+func (lt *loadTester) openLoadReps(cfg serve.Config, rate float64, burst, snap, reps int) (*openResult, error) {
+	var sum *openResult
+	for rep := 0; rep < reps; rep++ {
+		r, err := lt.openLoad(cfg, rate, burst, snap)
+		if err != nil {
+			return nil, err
+		}
+		if sum == nil {
+			sum = r
+			continue
+		}
+		sum.total += r.total
+		sum.answered += r.answered
+		sum.shed += r.shed
+		sum.wall += r.wall
+		sum.ansLat = append(sum.ansLat, r.ansLat...)
+		sum.shedLat = append(sum.shedLat, r.shedLat...)
+		sum.st.Coalesced += r.st.Coalesced
+		sum.st.BlockSolves += r.st.BlockSolves
+		sum.st.BlockedRHS += r.st.BlockedRHS
+		sum.st.ColdSolves += r.st.ColdSolves
+	}
+	sort.Slice(sum.ansLat, func(i, j int) bool { return sum.ansLat[i] < sum.ansLat[j] })
+	sort.Slice(sum.shedLat, func(i, j int) bool { return sum.shedLat[i] < sum.shedLat[j] })
+	return sum, nil
+}
+
+// openLoad offers queries at a fixed rate regardless of completion.
+// Arrivals come in runs of burst consecutive duplicates of a fresh
+// key (burst=1 means all queries unique): under backlog, a whole
+// burst is in flight before its first solve can land in the cache,
+// which is exactly the window single-flight coalescing exists for.
+// snap pins every query's snapshot (< 0 draws them at random).
+func (lt *loadTester) openLoad(cfg serve.Config, rate float64, burst, snap int) (*openResult, error) {
+	eng := lt.newEngine(cfg)
+	defer eng.Close()
+
+	total := int(rate / 2) // ~0.5 s of offered traffic
+	if total < 400 {
+		total = 400
+	}
+	if total > 40000 {
+		total = 40000
+	}
+	total -= total % burst
+	interval := time.Duration(float64(time.Second) / rate)
+	rng := xrand.New(7)
+	keys := make([]serve.Query, total/burst)
+	for i := range keys {
+		keys[i] = loadQuery(rng, lt.T, lt.n, snap)
+	}
+
+	var answered, shed atomic.Int64
+	ansLat := make([]time.Duration, total)
+	shedLat := make([]time.Duration, total)
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	next := t0
+	for i := 0; i < total; i++ {
+		if sleep := time.Until(next); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		next = next.Add(interval)
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qt := time.Now()
+			_, err := eng.Query(context.Background(), keys[i/burst])
+			el := time.Since(qt)
+			switch {
+			case err == nil:
+				ansLat[i] = el
+				answered.Add(1)
+			case errors.Is(err, serve.ErrOverloaded):
+				shedLat[i] = el
+				shed.Add(1)
+			default:
+				select {
+				case errc <- fmt.Errorf("bench: loadtest open-loop query %d: %w", i, err):
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	st := eng.Stats()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+
+	collect := func(src []time.Duration) []time.Duration {
+		out := src[:0:0]
+		for _, l := range src {
+			if l > 0 {
+				out = append(out, l)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	return &openResult{
+		total:    total,
+		answered: answered.Load(),
+		shed:     shed.Load(),
+		wall:     wall,
+		ansLat:   collect(ansLat),
+		shedLat:  collect(shedLat),
+		st:       st,
+	}, nil
+}
+
+// pctl reads the p-quantile of an ascending latency slice.
+func pctl(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(lat)))
+	if i >= len(lat) {
+		i = len(lat) - 1
+	}
+	return lat[i]
+}

@@ -1,0 +1,80 @@
+package lu
+
+// This file is the blocked multi-RHS solve path: one traversal of the
+// factors answers k right-hand sides (SolveBlockInPlace on the factor
+// containers does the sharing; this layer adds the permutations and the
+// workspace). It exists for the serving layer's batching stage — a
+// worker that has gathered k compatible queries against one pinned
+// solver amortizes the factor walk across all of them — and its
+// contract is the same bit-identity the sparse path carries: SolveBlock
+// is indistinguishable, bit for bit, from k independent SolveWith
+// calls, so batching is purely an execution-schedule decision and never
+// a numerics decision.
+
+// BlockWorkspace holds the k permuted intermediate vectors of a blocked
+// solve so a steady-state serving worker allocates nothing per block.
+// The zero value is ready to use; a workspace must not be shared
+// between concurrent solves but may be reused across blocks of
+// different widths and solvers of different dimensions (capacity is
+// kept on shrink, like SolveWorkspace).
+type BlockWorkspace struct {
+	cols [][]float64
+}
+
+// vectors returns k scratch vectors of dimension n, reusing capacity.
+// Every position is overwritten by the permutation before being read,
+// so stale values are harmless.
+func (ws *BlockWorkspace) vectors(k, n int) [][]float64 {
+	if cap(ws.cols) < k {
+		next := make([][]float64, k)
+		copy(next, ws.cols)
+		ws.cols = next
+	}
+	ws.cols = ws.cols[:k]
+	for r := range ws.cols {
+		if cap(ws.cols[r]) < n {
+			ws.cols[r] = make([]float64, n)
+		}
+		ws.cols[r] = ws.cols[r][:n]
+	}
+	return ws.cols
+}
+
+// SolveBlock solves A·x_r = bs[r] for all right-hand sides through one
+// blocked traversal of the factors, writing solution r into dsts[r]
+// (reusing its capacity; nil entries — or a nil dsts, which allocates
+// the slice of slices too — get fresh vectors). dsts[r] may alias
+// bs[r]: every b is consumed by the permutation pass before any dst is
+// written. Every position of every dst is overwritten. Each returned
+// vector is bit-identical to SolveWith(bs[r]).
+func (s *Solver) SolveBlock(dsts, bs [][]float64, ws *BlockWorkspace) [][]float64 {
+	if ws == nil {
+		ws = &BlockWorkspace{}
+	}
+	k := len(bs)
+	n := len(s.O.Row)
+	if dsts == nil {
+		dsts = make([][]float64, k)
+	}
+	cols := ws.vectors(k, n)
+	for r, b := range bs {
+		w := cols[r]
+		for i, v := range s.O.Row {
+			w[i] = b[v] // b' = P·b
+		}
+	}
+	s.F.SolveBlockInPlace(cols)
+	for r := range bs {
+		dst := dsts[r]
+		if cap(dst) < n {
+			dst = make([]float64, n)
+		}
+		dst = dst[:n]
+		w := cols[r]
+		for i, v := range s.O.Col {
+			dst[v] = w[i] // x = Q·x'
+		}
+		dsts[r] = dst
+	}
+	return dsts
+}

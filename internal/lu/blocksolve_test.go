@@ -1,0 +1,201 @@
+// Property tests of the blocked multi-RHS solve path: SolveBlock must
+// reproduce k independent SolveWith calls bit for bit — across every
+// factor state the pipelines produce (BF/INC/CINC/CLUDE), after
+// randomized Bennett update sequences on both containers, for every
+// block width the serving layer batches, and under the aliasing and
+// capacity-reuse contracts the workers rely on.
+//
+// External test package, like the sparse-path harness it extends: the
+// scenarios drive internal/core and internal/bennett, which import lu.
+package lu_test
+
+import (
+	"testing"
+
+	"repro/internal/bennett"
+	"repro/internal/core"
+	"repro/internal/lu"
+	"repro/internal/order"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// blockRHS draws k dense right-hand sides shaped like the serving
+// layer's traffic: mostly sparse basis-like vectors (rwr/topk), some
+// small seed sets (ppr), and the occasional fully dense one (pagerank).
+func blockRHS(rng *xrand.Rand, k, n int) [][]float64 {
+	bs := make([][]float64, k)
+	for r := range bs {
+		b := make([]float64, n)
+		switch rng.Intn(4) {
+		case 0: // seed set
+			for s := 0; s < 2+rng.Intn(4); s++ {
+				b[rng.Intn(n)] += 0.05 * (1 + rng.Float64())
+			}
+		case 1: // dense uniform
+			v := 0.15 / float64(n)
+			for i := range b {
+				b[i] = v
+			}
+		default: // single seed
+			b[rng.Intn(n)] = 0.15 * (1 + rng.Float64())
+		}
+		bs[r] = b
+	}
+	return bs
+}
+
+// checkBlockMatchesSingles solves the block both ways and asserts the
+// bit-identity contract.
+func checkBlockMatchesSingles(t *testing.T, tag string, s *lu.Solver, bs [][]float64, bws *lu.BlockWorkspace) {
+	t.Helper()
+	var sws lu.SolveWorkspace
+	want := make([][]float64, len(bs))
+	for r, b := range bs {
+		want[r] = s.SolveWith(b, &sws)
+	}
+	got := s.SolveBlock(nil, bs, bws)
+	for r := range bs {
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("%s: block k=%d rhs %d differs at %d: %v vs %v",
+					tag, len(bs), r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// TestSolveBlockMatchesSolveWithAcrossAlgorithms pins every factor
+// state the four pipelines emit and replays random blocks of every
+// width the batching stage produces through both solve paths.
+func TestSolveBlockMatchesSolveWithAcrossAlgorithms(t *testing.T) {
+	ems := testEMS(t)
+	for _, alg := range []core.Algorithm{core.BF, core.INC, core.CINC, core.CLUDE} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			var solvers []*lu.Solver
+			if _, err := core.Run(ems, alg, core.Options{
+				Alpha:         0.95,
+				RetainFactors: true,
+				OnFactors:     func(i int, s *lu.Solver) { solvers = append(solvers, s) },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			rng := xrand.New(41)
+			var bws lu.BlockWorkspace // shared across widths on purpose
+			for _, s := range solvers {
+				for _, k := range []int{1, 2, 3, 8} {
+					bs := blockRHS(rng, k, s.F.Dim())
+					checkBlockMatchesSingles(t, string(alg), s, bs, &bws)
+				}
+			}
+		})
+	}
+}
+
+// TestSolveBlockAfterRandomBennettSequences drives both containers
+// through randomized jumps across the sequence (each jump one Bennett
+// update batch, splicing fill into the dynamic container) and checks
+// the contract after every jump.
+func TestSolveBlockAfterRandomBennettSequences(t *testing.T) {
+	ems := testEMS(t)
+
+	// Static container over the USSP of the whole sequence (the CLUDE
+	// setup); dynamic container from the first matrix's own pattern
+	// (the INC setup) — mirroring the sparse-path harness.
+	union := ems.Matrices[0].Pattern()
+	for _, m := range ems.Matrices[1:] {
+		union = union.Union(m.Pattern())
+	}
+	ord := order.Markowitz(union).Ordering
+	perm := make([]*sparse.CSR, ems.Len())
+	for i, m := range ems.Matrices {
+		perm[i] = m.Permute(ord)
+	}
+	static := lu.NewStaticFactors(lu.Symbolic(union.Permute(ord)))
+	if err := static.Factorize(perm[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	ord2 := order.Markowitz(ems.Matrices[0].Pattern()).Ordering
+	perm2 := make([]*sparse.CSR, ems.Len())
+	for i, m := range ems.Matrices {
+		perm2[i] = m.Permute(ord2)
+	}
+	seed := lu.NewStaticFactors(lu.Symbolic(perm2[0].Pattern()))
+	if err := seed.Factorize(perm2[0]); err != nil {
+		t.Fatal(err)
+	}
+	dynamic := lu.NewDynamicFactors(seed)
+
+	sSolver := &lu.Solver{F: static, O: ord}
+	dSolver := &lu.Solver{F: dynamic, O: ord2}
+
+	rng := xrand.New(83)
+	var bws lu.BlockWorkspace
+	cur, cur2 := 0, 0
+	for step := 0; step < 12; step++ {
+		next := rng.Intn(ems.Len())
+		if err := bennett.UpdateStatic(static, sparse.Delta(perm[cur], perm[next]), nil); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+		next2 := rng.Intn(ems.Len())
+		if err := bennett.UpdateDynamic(dynamic, sparse.Delta(perm2[cur2], perm2[next2]), nil); err != nil {
+			t.Fatal(err)
+		}
+		cur2 = next2
+
+		k := 1 + rng.Intn(6)
+		checkBlockMatchesSingles(t, "static", sSolver, blockRHS(rng, k, ems.N()), &bws)
+		checkBlockMatchesSingles(t, "dynamic", dSolver, blockRHS(rng, k, ems.N()), &bws)
+	}
+}
+
+// TestSolveBlockDstContract: SolveBlock must reuse dst capacity and
+// tolerate dsts aliasing bs — the workers batch in place.
+func TestSolveBlockDstContract(t *testing.T) {
+	ems := testEMS(t)
+	ord := order.Markowitz(ems.Matrices[0].Pattern()).Ordering
+	s, err := lu.FactorizeOrdered(ems.Matrices[0], ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ems.N()
+	rng := xrand.New(5)
+	bs := blockRHS(rng, 3, n)
+	var sws lu.SolveWorkspace
+	want := make([][]float64, len(bs))
+	for r, b := range bs {
+		want[r] = s.SolveWith(b, &sws)
+	}
+
+	// Capacity reuse.
+	var bws lu.BlockWorkspace
+	dsts := make([][]float64, 3)
+	for r := range dsts {
+		dsts[r] = make([]float64, 0, n)
+	}
+	got := s.SolveBlock(dsts, bs, &bws)
+	for r := range got {
+		if &got[r][0] != &dsts[r][:1][0] {
+			t.Errorf("rhs %d: SolveBlock did not reuse dst capacity", r)
+		}
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("rhs %d differs at %d", r, i)
+			}
+		}
+	}
+
+	// Aliasing: solve the block over its own right-hand sides.
+	alias := blockRHS(xrand.New(5), 3, n)
+	got2 := s.SolveBlock(alias, alias, &bws)
+	for r := range got2 {
+		for i := range want[r] {
+			if got2[r][i] != want[r][i] {
+				t.Fatalf("aliased rhs %d differs at %d: %v vs %v", r, i, got2[r][i], want[r][i])
+			}
+		}
+	}
+}

@@ -41,6 +41,15 @@ type Factors interface {
 	// dense right-hand side: the restricted loops execute the same
 	// floating-point operations in the same order.
 	SolveReachInPlace(x []float64, freach, breach []int)
+
+	// SolveBlockInPlace runs SolveInPlace over k vectors through one
+	// traversal of the factors: at every L column, pivot, and U row,
+	// all k vectors advance before the loop moves on, so the factor
+	// structure is loaded once per block instead of once per
+	// right-hand side. Per vector the floating-point operations and
+	// their order are exactly SolveInPlace's, so each xs[r] ends up
+	// bit-identical to an independent SolveInPlace(xs[r]).
+	SolveBlockInPlace(xs [][]float64)
 }
 
 // Compile-time interface checks.

@@ -1,0 +1,67 @@
+package measures
+
+import (
+	"repro/internal/lu"
+)
+
+// Blocked measure paths on top of lu.Solver.SolveBlock: one traversal
+// of the factors answers a whole batch of queries. Like every fast
+// path in this codebase they are bit-identical to their single-query
+// counterparts — MultiRWRInto to a loop of RWRWith calls, PPRBatch to
+// a loop of PPRWith calls — because the right-hand sides are built by
+// the same formulas and the blocked substitution executes each
+// vector's floating-point operations in the single-solve order.
+
+// MultiRWRInto answers RWR from every source through one blocked
+// solve, writing RWR(sources[r]) into dsts[r] (capacity reused; nil
+// entries or a nil dsts allocate). Row r is bit-identical to
+// RWRWith(sources[r]).
+func (e *Engine) MultiRWRInto(dsts [][]float64, sources []int, ws *lu.BlockWorkspace) [][]float64 {
+	n := e.dim()
+	if dsts == nil {
+		dsts = make([][]float64, len(sources))
+	}
+	// Build each basis right-hand side in its own dst: SolveBlock
+	// tolerates full aliasing, so the batch needs no extra vectors
+	// beyond the workspace.
+	for r, u := range sources {
+		dsts[r] = zeroed(dsts[r], n)
+		dsts[r][u] = 1 - e.D
+	}
+	return e.Solver.SolveBlock(dsts, dsts, ws)
+}
+
+// PPRBatch answers Personalized PageRank for every seed set through
+// one blocked solve, writing PPR(seedSets[r]) into dsts[r] (capacity
+// reused; nil entries or a nil dsts allocate). Row r is bit-identical
+// to PPRWith(seedSets[r]). An empty seed set yields the zero vector,
+// matching PPRWith.
+func (e *Engine) PPRBatch(dsts [][]float64, seedSets [][]int, ws *lu.BlockWorkspace) [][]float64 {
+	n := e.dim()
+	if dsts == nil {
+		dsts = make([][]float64, len(seedSets))
+	}
+	for r, seeds := range seedSets {
+		b := zeroed(dsts[r], n)
+		w := (1 - e.D) / float64(len(seeds))
+		for _, s := range seeds {
+			// Accumulate, exactly as PPRWith: a repeated seed weighs
+			// proportionally.
+			b[s] += w
+		}
+		dsts[r] = b
+	}
+	// Empty seed sets must stay exact zero vectors rather than go
+	// through a division by zero; solve only the non-empty rows.
+	// (A·0 = 0 would hold numerically too, but PPRWith never solves.)
+	rows := dsts[:0:0]
+	for r, seeds := range seedSets {
+		if len(seeds) > 0 {
+			rows = append(rows, dsts[r])
+		}
+	}
+	if len(rows) > 0 {
+		e.Solver.SolveBlock(rows, rows, ws)
+	}
+	return dsts
+}

@@ -1,0 +1,90 @@
+package measures
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/lu"
+	"repro/internal/xrand"
+)
+
+// blockEngine builds a small engine for the blocked-path tests.
+func blockEngine(t *testing.T) *Engine {
+	t.Helper()
+	egs, err := gen.WikiSim(gen.WikiConfig{
+		N: 120, T: 1, InitialEdges: 360, FinalEdges: 360, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(egs.Snapshots[0], 0.85, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestMultiRWRIntoMatchesSingles: every row of the blocked answer must
+// be bit-identical to the single-query path, dst capacity must be
+// reused, and the workspace must be reusable across widths.
+func TestMultiRWRIntoMatchesSingles(t *testing.T) {
+	e := blockEngine(t)
+	n := e.dim()
+	rng := xrand.New(3)
+	var bws lu.BlockWorkspace
+	var sws lu.SolveWorkspace
+	for _, k := range []int{1, 2, 7} {
+		sources := make([]int, k)
+		for i := range sources {
+			sources[i] = rng.Intn(n)
+		}
+		dsts := make([][]float64, k)
+		for r := range dsts {
+			dsts[r] = make([]float64, 0, n)
+		}
+		got := e.MultiRWRInto(dsts, sources, &bws)
+		for r, u := range sources {
+			if &got[r][0] != &dsts[r][:1][0] {
+				t.Errorf("k=%d row %d: dst capacity not reused", k, r)
+			}
+			want := e.RWRWith(u, &sws)
+			for i := range want {
+				if got[r][i] != want[i] {
+					t.Fatalf("k=%d row %d differs at %d: %v vs %v", k, r, i, got[r][i], want[i])
+				}
+			}
+		}
+	}
+	// nil dsts allocates.
+	got := e.MultiRWRInto(nil, []int{1, 2}, &bws)
+	want := e.RWRWith(2, &sws)
+	for i := range want {
+		if got[1][i] != want[i] {
+			t.Fatalf("nil-dsts row differs at %d", i)
+		}
+	}
+}
+
+// TestPPRBatchMatchesSingles covers seed sets with duplicates (which
+// must accumulate, like PPRWith) and an empty set (which must stay the
+// zero vector without poisoning its block neighbors).
+func TestPPRBatchMatchesSingles(t *testing.T) {
+	e := blockEngine(t)
+	sets := [][]int{
+		{3, 7, 7, 40},
+		{},
+		{0},
+		{5, 5, 5},
+	}
+	var bws lu.BlockWorkspace
+	var sws lu.SolveWorkspace
+	got := e.PPRBatch(nil, sets, &bws)
+	for r, seeds := range sets {
+		want := e.PPRWith(seeds, &sws)
+		for i := range want {
+			if got[r][i] != want[i] {
+				t.Fatalf("set %d differs at %d: %v vs %v", r, i, got[r][i], want[i])
+			}
+		}
+	}
+}

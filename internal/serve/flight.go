@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lu"
+)
+
+// Single-flight coalescing: identical concurrent queries — same
+// factors (snapshot + pin generation, or live source + attach
+// generation + published version), same measure, source, seeds, k and
+// damping — share one solve and one cache fill. The flight key IS the
+// cache key, so the coalescing horizon is exactly the cache-coherence
+// horizon: two queries coalesce if and only if a cache entry written
+// by one could have served the other.
+
+// task is one resolved query on its way through the pipeline: the
+// validated payload, its serving route, its cache/flight key, and the
+// flight that will carry the answer back to every waiter.
+type task struct {
+	q       Query
+	seeds   []int // canonical ppr seed set (sorted, deduplicated)
+	damping float64
+
+	fl        *flight
+	coalesced bool // joined an existing flight; awaits, never enqueues
+
+	// Route: either an attached live source (live, src, liveGen,
+	// version as resolved) or a pinned snapshot's solver. For live
+	// tasks the worker re-reads version/snap/prefix under the source's
+	// view at solve time; the resolve-time values only key the flight.
+	live    bool
+	src     LiveSource
+	liveGen uint64
+	solver  *lu.Solver
+	snap    int
+	version uint64
+
+	// keyed is false only on the spill-reload race fallback, whose
+	// answers have no stable generation: no cache entry, no coalescing.
+	keyed     bool
+	prefix    string // cache-key namespace (generation-stamped)
+	suffix    string // canonical query payload (keySuffix)
+	flightKey string
+}
+
+// canonicalize validates the query payload against dimension n and
+// derives the canonical seed set and the cache-key suffix.
+func (t *task) canonicalize(n int) error {
+	q := t.q
+	switch q.Measure {
+	case MeasureRWR, MeasureTopK:
+		if q.Source < 0 || q.Source >= n {
+			return fmt.Errorf("serve: source %d outside [0,%d)", q.Source, n)
+		}
+		if q.Measure == MeasureTopK && q.K <= 0 {
+			return fmt.Errorf("serve: topk needs k > 0, got %d", q.K)
+		}
+	case MeasurePPR:
+		if len(q.Sources) == 0 {
+			return fmt.Errorf("serve: ppr needs a non-empty seed set")
+		}
+		seeds := append([]int(nil), q.Sources...)
+		sort.Ints(seeds)
+		// Deduplicate: PPR's restart mass is uniform over the seed
+		// *set*; a repeated seed must not change the answer (or the
+		// cache key).
+		w := 0
+		for _, s := range seeds {
+			if s < 0 || s >= n {
+				return fmt.Errorf("serve: seed %d outside [0,%d)", s, n)
+			}
+			if w == 0 || seeds[w-1] != s {
+				seeds[w] = s
+				w++
+			}
+		}
+		t.seeds = seeds[:w]
+	case MeasurePageRank:
+	default:
+		return fmt.Errorf("serve: unknown measure %q", q.Measure)
+	}
+	t.suffix = keySuffix(q.Measure, q.Source, t.seeds, q.K, t.damping)
+	return nil
+}
+
+// flight is one in-flight solve and its waiters' rendezvous. The
+// leader's worker fills the fields and closes done; every waiter —
+// leader and coalesced followers alike — reads them after done.
+type flight struct {
+	done    chan struct{}
+	ans     answer
+	snap    int
+	version uint64
+	live    bool
+	err     error
+}
+
+func newFlight() *flight { return &flight{done: make(chan struct{})} }
+
+// joinFlight is the single-flight admission point for a keyed task.
+// Under flightMu it either joins an existing flight for the key
+// (leader false), hits the cache (hit true), or registers a new flight
+// with the caller as leader. The cache recheck happens under the same
+// lock that finish holds while deregistering — and finish fills the
+// cache *before* deregistering — so the window "flight gone but cache
+// not yet filled" cannot be observed: a query always either coalesces
+// or sees the finished flight's cache entry (unless the LRU evicted
+// it, in which case recomputing is correct, merely redundant).
+func (e *Engine) joinFlight(key string) (fl *flight, leader bool, ans answer, hit bool) {
+	e.flightMu.Lock()
+	defer e.flightMu.Unlock()
+	if fl := e.flights[key]; fl != nil {
+		return fl, false, answer{}, false
+	}
+	if ans, ok := e.cache.get(key); ok {
+		return nil, false, ans, true
+	}
+	fl = newFlight()
+	e.flights[key] = fl
+	return fl, true, answer{}, false
+}
+
+// finish completes a task's flight: publish the answer (filling the
+// cache first, then deregistering the flight — the order joinFlight's
+// recheck relies on), account the solve, and release every waiter.
+// Called exactly once per flight, by the worker that solved it or by
+// the shedding dispatcher; waiter cancellation never reaches here, so
+// an abandoned flight still completes and still fills the cache.
+func (e *Engine) finish(t *task, ans answer, err error) {
+	fl := t.fl
+	fl.ans, fl.err = ans, err
+	fl.snap, fl.version, fl.live = t.snap, t.version, t.live
+	if err == nil {
+		e.solves.Add(1)
+		if t.keyed {
+			// The flight's one cache miss, recorded by the leader; the
+			// followers count as hits when they pick the answer up.
+			e.misses.Add(1)
+		}
+		if t.prefix != "" {
+			e.cacheEvicted.Add(int64(e.cache.put(t.prefix+t.suffix, ans)))
+		}
+	}
+	if t.flightKey != "" {
+		e.flightMu.Lock()
+		delete(e.flights, t.flightKey)
+		e.flightMu.Unlock()
+	}
+	close(fl.done)
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latHist is a lock-free log₂-bucketed latency histogram: bucket b
+// counts observations with bits.Len64(ns) == b, i.e. durations in
+// [2^(b−1), 2^b) ns. Sixty-four buckets cover every representable
+// duration, observation is one atomic increment, and percentile reads
+// report a bucket's upper bound — at most 2× the true quantile, which
+// is the right fidelity for an overload dashboard (the interesting
+// signals are order-of-magnitude shifts, not nanoseconds).
+type latHist struct {
+	buckets [64]atomic.Int64
+}
+
+// observe records one successful-query latency.
+func (h *latHist) observe(d time.Duration) {
+	b := bits.Len64(uint64(d.Nanoseconds()))
+	if b > 63 {
+		b = 63
+	}
+	h.buckets[b].Add(1)
+}
+
+// percentileUS returns the p-quantile (0 < p ≤ 1) in microseconds, as
+// the upper bound of the bucket holding the rank-⌈p·total⌉
+// observation; 0 when nothing has been observed. The read is not
+// atomic across buckets — concurrent observations can skew a live read
+// by their own count, which is fine for monitoring.
+func (h *latHist) percentileUS(p float64) float64 {
+	var counts [64]int64
+	var total int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range counts {
+		cum += c
+		if cum >= rank {
+			return float64(uint64(1)<<uint(b)) / 1e3
+		}
+	}
+	return float64(uint64(1)<<63) / 1e3
+}

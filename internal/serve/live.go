@@ -70,23 +70,3 @@ func (e *Engine) CheckpointEvery(k uint64) func(version uint64, s *lu.Solver) {
 		}
 	}
 }
-
-// answerLive serves q from the attached live source. served reports
-// whether the live path handled the query: false means no source is
-// attached (or it has nothing published) and the caller should fall
-// back to the pinned store. Cache keys carry the live version, so a
-// committed batch naturally invalidates every cached live answer —
-// stale entries are unreachable and age out of the LRU.
-func (e *Engine) answerLive(q Query, damping float64, w *workerScratch) (resp *Response, err error, served bool) {
-	src, gen := e.liveSource()
-	if src == nil {
-		return nil, nil, false
-	}
-	served = src.View(func(version uint64, s *lu.Solver) {
-		resp, err = e.answerSolver(q, s, damping, int(version), livePrefix(gen, version), version, true, w)
-	})
-	if served {
-		e.liveQueries.Add(1)
-	}
-	return resp, err, served
-}

@@ -2,8 +2,8 @@
 // pipelines: it retains per-snapshot solvers produced by core.Run
 // (via Options.OnFactors with RetainFactors set) in a bounded
 // snapshot store and answers concurrent proximity-measure queries —
-// RWR, PPR, PageRank, top-k — through a worker pool with a shared LRU
-// result cache.
+// RWR, PPR, PageRank, top-k — through an admission-controlled worker
+// pool with a shared LRU result cache.
 //
 // This is the paper's motivating deployment (§1): the whole point of
 // maintaining LU factors across an evolving matrix sequence is that
@@ -12,9 +12,19 @@
 // one between maintenance and serving: core keeps the factors current
 // while this package turns them into answers.
 //
-//	core.Run ──OnFactors──▶ snapshot store ──▶ worker pool ──▶ LRU cache
-//	                          (pinned clones)   (one solve      (answers,
-//	                                             scratch each)   copied out)
+// The hot path is a three-stage pipeline (see docs/SERVING.md):
+//
+//	Query ──resolve──▶ coalesce ──admit──▶ batch ──▶ solve ──▶ cache
+//	        (route,     (single-   (bounded  (group   (blocked   (one fill
+//	         validate)   flight)    queue,    by       multi-RHS   per
+//	                               shedding)  solver)  SolveBlock) flight)
+//
+// Identical concurrent queries share one solve and one cache fill
+// (single-flight coalescing, keyed by the generation-tagged cache
+// key); compatible queued queries against the same factors are solved
+// in one blocked traversal (lu.Solver.SolveBlock); and when the
+// admission queue is full, excess queries fail fast with
+// ErrOverloaded instead of building an unbounded backlog.
 package serve
 
 import (
@@ -27,9 +37,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lu"
-	"repro/internal/measures"
 )
 
 // The measure names a Query may carry.
@@ -46,6 +56,11 @@ var (
 	ErrClosed          = errors.New("serve: engine closed")
 	ErrUnknownSnapshot = errors.New("serve: snapshot not retained")
 	ErrNoSnapshots     = errors.New("serve: no snapshots pinned yet")
+	// ErrOverloaded is the admission-control fast-fail: the bounded
+	// queue is full and the query was shed without waiting. Callers
+	// should back off and retry (cludeserve maps it to HTTP 429 with a
+	// Retry-After header).
+	ErrOverloaded = errors.New("serve: overloaded, query shed")
 )
 
 // Config sizes the engine. The zero value picks the defaults.
@@ -68,6 +83,25 @@ type Config struct {
 	// means measures.DefaultReachFraction; >= 1 never falls back;
 	// negative disables the sparse path entirely.
 	SparseReachFrac float64
+	// QueueDepth bounds the admission queue between callers and the
+	// worker pool. A query that finds the queue full is shed
+	// immediately with ErrOverloaded — the engine never builds a
+	// backlog deeper than this. <= 0 means 8×Workers.
+	QueueDepth int
+	// BatchMax caps how many compatible queued queries one worker
+	// gathers into a single blocked multi-RHS solve. <= 0 means 8;
+	// 1 disables batching (every query solves alone, the pre-blocking
+	// behavior).
+	BatchMax int
+	// QueryTimeout, when positive, is a per-request deadline applied
+	// to every Query on top of the caller's context.
+	QueryTimeout time.Duration
+	// NoSingleFlight disables query coalescing: identical concurrent
+	// queries each solve independently, as the engine behaved before
+	// single-flight landed. The cache still works. This exists for
+	// benchmarking the coalescing win (internal/bench "loadtest") and
+	// for debugging; production configs should leave it false.
+	NoSingleFlight bool
 	// SpillDir, when non-empty, turns eviction from the bounded
 	// snapshot store into disk spilling: evicted snapshots are written
 	// there (see internal/store's solver codec) and transparently
@@ -131,13 +165,40 @@ type Stats struct {
 	Retained         int   `json:"retained_snapshots"`
 	Workers          int   `json:"workers"`
 
+	// Admission-pipeline counters. Every submitted query (Queries) is
+	// classified exactly once: Coalesced joined an identical in-flight
+	// query and waited for its answer instead of computing its own;
+	// Shed was fast-failed with ErrOverloaded at the full admission
+	// queue; Admitted entered the serving path (cache hits, enqueued
+	// solves, and queries later rejected by validation all count).
+	// Invariant: Admitted + Coalesced + Shed == Queries.
+	Admitted  int64 `json:"admitted"`
+	Coalesced int64 `json:"coalesced"`
+	Shed      int64 `json:"shed"`
+
+	// Blocked-solve counters: BlockSolves is the number of blocked
+	// multi-RHS dispatches (groups of ≥ 2 compatible queries solved in
+	// one factor traversal), BlockedRHS the total right-hand sides
+	// they carried — BlockedRHS/BlockSolves is the mean block width.
+	BlockSolves int64 `json:"block_solves"`
+	BlockedRHS  int64 `json:"blocked_rhs"`
+
+	// Latency percentiles (µs) over successfully answered queries,
+	// measured from Query entry to answer, on a log₂-bucketed
+	// histogram (values are bucket upper bounds, ≤ 2× the true
+	// quantile).
+	LatencyP50us float64 `json:"latency_p50_us"`
+	LatencyP95us float64 `json:"latency_p95_us"`
+	LatencyP99us float64 `json:"latency_p99_us"`
+
 	// Solve-path breakdown of the cold solves: SparseSolves answered
 	// through the reach-based path, DenseSolves through the full
-	// substitution (PageRank always; others on fallback or when the
-	// sparse path is disabled). SparseFallbacks counts sparse attempts
-	// whose symbolic probe exceeded the reach cap (each also appears
-	// in DenseSolves). AvgReachFrac is the mean fraction of rows the
-	// sparse solves touched.
+	// substitution (PageRank always; others on fallback, when the
+	// sparse path is disabled, or when solved as part of a block).
+	// SparseFallbacks counts sparse attempts whose symbolic probe
+	// exceeded the reach cap (each also appears in DenseSolves).
+	// AvgReachFrac is the mean fraction of rows the sparse solves
+	// touched.
 	SparseSolves    int64   `json:"sparse_solves"`
 	DenseSolves     int64   `json:"dense_solves"`
 	SparseFallbacks int64   `json:"sparse_fallbacks"`
@@ -168,8 +229,9 @@ func (s Stats) HitRate() float64 {
 
 // Engine serves measure queries from pinned per-snapshot solvers.
 type Engine struct {
-	cfg   Config
-	cache *lruCache
+	cfg      Config
+	batchMax int
+	cache    *lruCache
 
 	mu     sync.RWMutex
 	snaps  map[int]snapEntry
@@ -177,14 +239,24 @@ type Engine struct {
 	latest int
 	gen    uint64 // bumped per Pin; stamps cache keys (see snapEntry)
 
-	tasks     chan *task
+	queue     chan *task
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
+	// Single-flight table: one entry per cache key with a solve in
+	// flight. Guarded by flightMu, which also orders the leader's
+	// cache-fill-then-delete against a new leader's miss-then-create
+	// (see joinFlight).
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
 	queries, hits, misses, solves   atomic.Int64
 	rejected, pinCount, snapEvicted atomic.Int64
 	cacheEvicted                    atomic.Int64
+	admitted, coalesced, shed       atomic.Int64
+	blockSolves, blockedRHS         atomic.Int64
+	lat                             latHist
 
 	// Sparse-path counters: reachRows/reachDen accumulate the touched-
 	// row and dimension totals of sparse solves, so AvgReachFrac is an
@@ -233,18 +305,6 @@ type snapEntry struct {
 	gen uint64
 }
 
-// task couples a query with its caller's context and reply channel.
-type task struct {
-	ctx  context.Context
-	q    Query
-	done chan taskResult // buffered 1: workers never block on a gone caller
-}
-
-type taskResult struct {
-	resp *Response
-	err  error
-}
-
 // New starts an engine and its worker pool. Callers must Close it.
 func New(cfg Config) *Engine {
 	if cfg.MaxSnapshots <= 0 {
@@ -256,13 +316,22 @@ func New(cfg Config) *Engine {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 1024
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8 * cfg.Workers
+	}
+	batchMax := cfg.BatchMax
+	if batchMax <= 0 {
+		batchMax = 8
+	}
 	e := &Engine{
 		cfg:          cfg,
+		batchMax:     batchMax,
 		cache:        newLRUCache(cfg.CacheSize),
 		snaps:        make(map[int]snapEntry),
 		latest:       -1,
-		tasks:        make(chan *task, 4*cfg.Workers),
+		queue:        make(chan *task, cfg.QueueDepth),
 		closed:       make(chan struct{}),
+		flights:      make(map[string]*flight),
 		spilled:      make(map[int]bool),
 		spillPending: make(map[int]*lu.Solver),
 		spillKick:    make(chan struct{}, 1),
@@ -379,6 +448,14 @@ func (e *Engine) Stats() Stats {
 		CacheEntries:     e.cache.len(),
 		Retained:         retained,
 		Workers:          e.cfg.Workers,
+		Admitted:         e.admitted.Load(),
+		Coalesced:        e.coalesced.Load(),
+		Shed:             e.shed.Load(),
+		BlockSolves:      e.blockSolves.Load(),
+		BlockedRHS:       e.blockedRHS.Load(),
+		LatencyP50us:     e.lat.percentileUS(0.50),
+		LatencyP95us:     e.lat.percentileUS(0.95),
+		LatencyP99us:     e.lat.percentileUS(0.99),
 		SparseSolves:     e.sparseSolves.Load(),
 		DenseSolves:      e.denseSolves.Load(),
 		SparseFallbacks:  e.sparseFallbacks.Load(),
@@ -397,94 +474,132 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// Query answers q, blocking until a worker replies, the context is
-// cancelled, or the engine closes.
+// Query answers q, blocking until the answer is computed (or shared
+// from an identical in-flight query), the context is cancelled, the
+// per-request deadline expires, the admission queue sheds the query,
+// or the engine closes.
 func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
 	e.queries.Add(1)
-	t := &task{ctx: ctx, q: q, done: make(chan taskResult, 1)}
-	select {
-	case e.tasks <- t:
-	case <-ctx.Done():
-		e.rejected.Add(1)
-		return nil, ctx.Err()
-	case <-e.closed:
-		e.rejected.Add(1)
-		return nil, ErrClosed
+	if e.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
+		defer cancel()
 	}
-	select {
-	case r := <-t.done:
-		if r.err != nil {
-			e.rejected.Add(1)
-		}
-		return r.resp, r.err
-	case <-ctx.Done():
+	start := time.Now()
+	resp, err := e.dispatch(ctx, q)
+	if err != nil {
 		e.rejected.Add(1)
-		return nil, ctx.Err()
-	case <-e.closed:
-		e.rejected.Add(1)
-		return nil, ErrClosed
+		return nil, err
 	}
+	e.lat.observe(time.Since(start))
+	return resp, nil
 }
 
-// workerScratch is the per-worker reusable state: dense solve scratch,
-// sparse (reach-based) solve scratch, and a dense result buffer for
-// answers that never enter the cache (top-k's full vector), so a
-// steady-state worker's per-query allocation is only what the cache
-// must own.
-type workerScratch struct {
-	ws  lu.SolveWorkspace
-	sws lu.SparseSolveWorkspace
-	buf []float64
-}
+// dispatch runs the admission pipeline: resolve the route, try the
+// cache, join or lead a flight, enqueue (or shed), and wait.
+func (e *Engine) dispatch(ctx context.Context, q Query) (*Response, error) {
+	select {
+	case <-e.closed:
+		e.admitted.Add(1)
+		return nil, ErrClosed
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		e.admitted.Add(1)
+		return nil, err
+	}
 
-// worker owns one scratch set and drains the task queue.
-func (e *Engine) worker() {
-	defer e.wg.Done()
-	var w workerScratch
-	for {
-		select {
-		case t := <-e.tasks:
-			if err := t.ctx.Err(); err != nil {
-				t.done <- taskResult{err: err}
-				continue
+	t, err := e.resolve(q)
+	if err != nil {
+		e.admitted.Add(1)
+		return nil, err
+	}
+
+	if t.keyed && e.cfg.NoSingleFlight {
+		if ans, ok := e.cache.get(t.flightKey); ok {
+			e.admitted.Add(1)
+			e.hits.Add(1)
+			if t.live {
+				e.liveQueries.Add(1)
 			}
-			resp, err := e.answer(t.q, &w)
-			t.done <- taskResult{resp: resp, err: err}
-		case <-e.closed:
-			return
+			return respond(t.snap, q.Measure, t.damping, ans, true, t.version, t.live), nil
 		}
+		// Solve independently: no flight registration, but the answer
+		// still fills the cache under its key.
+		t.flightKey = ""
+		t.fl = newFlight()
+	} else if t.keyed {
+		fl, leader, ans, hit := e.joinFlight(t.flightKey)
+		if hit {
+			e.admitted.Add(1)
+			e.hits.Add(1)
+			if t.live {
+				e.liveQueries.Add(1)
+			}
+			return respond(t.snap, q.Measure, t.damping, ans, true, t.version, t.live), nil
+		}
+		t.fl = fl
+		if !leader {
+			t.coalesced = true
+			e.coalesced.Add(1)
+			return e.await(ctx, t)
+		}
+	} else {
+		// Unkeyed (the spill-reload race fallback): no cache entry and
+		// no coalescing, but the flight still carries the answer back.
+		t.fl = newFlight()
+	}
+
+	// Admission: a full queue sheds immediately — the caller gets
+	// ErrOverloaded now rather than a slow answer later, and any
+	// followers that already joined the flight inherit the error.
+	select {
+	case e.queue <- t:
+		e.admitted.Add(1)
+	default:
+		e.shed.Add(1)
+		e.finish(t, answer{}, ErrOverloaded)
+		return nil, ErrOverloaded
+	}
+	return e.await(ctx, t)
+}
+
+// await blocks on the task's flight. A waiter abandoning the flight
+// (context cancelled, engine closed) never affects the flight itself:
+// the worker completes it for whoever remains, and the cache fill
+// happens regardless — cancellation cannot poison the shared result.
+func (e *Engine) await(ctx context.Context, t *task) (*Response, error) {
+	fl := t.fl
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		if t.coalesced {
+			// A follower's answer came from the shared solve: for the
+			// cache-accounting invariants it is a hit (the leader
+			// recorded the miss and the cold solve).
+			e.hits.Add(1)
+		}
+		if fl.live {
+			e.liveQueries.Add(1)
+		}
+		return respond(fl.snap, t.q.Measure, t.damping, fl.ans, false, fl.version, fl.live), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.closed:
+		return nil, ErrClosed
 	}
 }
 
-// recordSparse accounts one reach-based solve in the stats.
-func (e *Engine) recordSparse(sp measures.SparseScores) {
-	e.sparseSolves.Add(1)
-	e.reachRows.Add(int64(len(sp.Idx)))
-	e.reachDen.Add(int64(sp.N))
-}
-
-// trySparse attempts one reach-based solve, keeping the stats honest:
-// a hit is recorded as a sparse solve, a reach-cap abort as a fallback
-// (the caller then performs — and records — a dense solve).
-func (e *Engine) trySparse(enabled bool, solve func() (measures.SparseScores, bool)) (measures.SparseScores, bool) {
-	if !enabled {
-		return measures.SparseScores{}, false
-	}
-	sp, ok := solve()
-	if !ok {
-		e.sparseFallbacks.Add(1)
-		return measures.SparseScores{}, false
-	}
-	e.recordSparse(sp)
-	return sp, true
-}
-
-// answer resolves one query to a solver and serves it on the calling
-// worker's scratch. Queries for the latest state (Snapshot < 0) are
-// routed to the attached live source when one exists — reading the
-// streaming engine's current factors in place under its publish lock —
-// and to the pinned snapshot store otherwise.
-func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
+// resolve validates q and binds it to its serving route — the attached
+// live source for latest-state queries when one is publishing, a
+// pinned snapshot's solver otherwise — and derives the cache/flight
+// key. Routing at submission is what makes coalescing sound: the key
+// carries the pin generation (pinned) or attach generation and
+// published version (live), so two queries coalesce only when they are
+// provably answerable by the same factors.
+func (e *Engine) resolve(q Query) (*task, error) {
 	damping := q.Damping
 	if damping == 0 {
 		damping = e.cfg.Damping
@@ -492,10 +607,26 @@ func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
 	if damping != e.cfg.Damping {
 		return nil, fmt.Errorf("serve: damping %v not served (factors built for %v)", damping, e.cfg.Damping)
 	}
+	t := &task{q: q, damping: damping}
 
 	if q.Snapshot < 0 {
-		if resp, err, served := e.answerLive(q, damping, w); served {
-			return resp, err
+		if src, gen := e.liveSource(); src != nil {
+			var n int
+			viewed := src.View(func(version uint64, s *lu.Solver) {
+				t.version = version
+				n = s.F.Dim()
+			})
+			if viewed {
+				t.live, t.src, t.liveGen = true, src, gen
+				t.snap = int(t.version)
+				if err := t.canonicalize(n); err != nil {
+					return nil, err
+				}
+				t.keyed = true
+				t.prefix = livePrefix(gen, t.version)
+				t.flightKey = t.prefix + t.suffix
+				return t, nil
+			}
 		}
 	}
 
@@ -524,118 +655,18 @@ func (e *Engine) answer(q Query, w *workerScratch) (*Response, error) {
 		entry, ok = e.snaps[snap]
 		e.mu.RUnlock()
 		if !ok {
-			return e.answerSolver(q, sv, damping, snap, "", 0, false, w)
+			t.solver, t.snap = sv, snap
+			return t, t.canonicalize(sv.F.Dim())
 		}
 	}
-	return e.answerSolver(q, entry.s, damping, snap, pinnedPrefix(snap, entry.gen), 0, false, w)
-}
-
-// answerSolver validates and serves one query against a resolved
-// solver. Single-source and seed-set measures go through the
-// reach-based sparse solve first and fall back to the dense
-// substitution when the reach probe exceeds the configured fraction of
-// n; both paths produce bit-identical answers (the stress test holds
-// every response against an independent cold dense solve).
-func (e *Engine) answerSolver(q Query, solver *lu.Solver, damping float64, snap int, keyPrefix string, version uint64, live bool, w *workerScratch) (*Response, error) {
-	n := solver.F.Dim()
-
-	var seeds []int // canonical ppr seed set (sorted, deduplicated copy)
-	switch q.Measure {
-	case MeasureRWR, MeasureTopK:
-		if q.Source < 0 || q.Source >= n {
-			return nil, fmt.Errorf("serve: source %d outside [0,%d)", q.Source, n)
-		}
-		if q.Measure == MeasureTopK && q.K <= 0 {
-			return nil, fmt.Errorf("serve: topk needs k > 0, got %d", q.K)
-		}
-	case MeasurePPR:
-		if len(q.Sources) == 0 {
-			return nil, fmt.Errorf("serve: ppr needs a non-empty seed set")
-		}
-		seeds = append([]int(nil), q.Sources...)
-		sort.Ints(seeds)
-		// Deduplicate: PPR's restart mass is uniform over the seed
-		// *set*; a repeated seed must not change the answer (or the
-		// cache key).
-		w := 0
-		for _, s := range seeds {
-			if s < 0 || s >= n {
-				return nil, fmt.Errorf("serve: seed %d outside [0,%d)", s, n)
-			}
-			if w == 0 || seeds[w-1] != s {
-				seeds[w] = s
-				w++
-			}
-		}
-		seeds = seeds[:w]
-	case MeasurePageRank:
-	default:
-		return nil, fmt.Errorf("serve: unknown measure %q", q.Measure)
+	t.solver, t.snap = entry.s, snap
+	if err := t.canonicalize(entry.s.F.Dim()); err != nil {
+		return nil, err
 	}
-
-	// An empty keyPrefix bypasses the cache entirely (used by the
-	// spill-reload race fallback, whose answers have no stable
-	// generation to key under).
-	var key string
-	if keyPrefix != "" {
-		key = keyPrefix + keySuffix(q.Measure, q.Source, seeds, q.K, damping)
-		if ans, ok := e.cache.get(key); ok {
-			e.hits.Add(1)
-			return respond(snap, q.Measure, damping, ans, true, version, live), nil
-		}
-		e.misses.Add(1)
-	}
-
-	me := measures.NewSolverEngine(damping, solver)
-	frac := e.cfg.SparseReachFrac
-	useSparse := frac >= 0
-	var ans answer
-	switch q.Measure {
-	case MeasureRWR:
-		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
-			return me.RWRSparse(q.Source, frac, &w.sws)
-		}); ok {
-			ans.scores = sp.Dense(nil)
-		} else {
-			e.denseSolves.Add(1)
-			ans.scores = me.RWRWith(q.Source, &w.ws)
-		}
-	case MeasurePPR:
-		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
-			return me.PPRSparse(seeds, frac, &w.sws)
-		}); ok {
-			ans.scores = sp.Dense(nil)
-		} else {
-			e.denseSolves.Add(1)
-			ans.scores = me.PPRWith(seeds, &w.ws)
-		}
-	case MeasurePageRank:
-		// The right-hand side is dense (uniform restart): the reach is
-		// all of n by construction, so this measure is always dense.
-		e.denseSolves.Add(1)
-		ans.scores = me.PageRankWith(&w.ws)
-	case MeasureTopK:
-		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
-			return me.RWRSparse(q.Source, frac, &w.sws)
-		}); ok {
-			// Top-k straight from the sparse support: the full score
-			// vector is never materialized.
-			ans.nodes, ans.scores = measures.TopKSparse(sp, q.K)
-		} else {
-			e.denseSolves.Add(1)
-			w.buf = me.RWRInto(w.buf, q.Source, &w.ws)
-			ans.nodes = measures.TopK(w.buf, q.K)
-			ans.scores = make([]float64, len(ans.nodes))
-			for i, v := range ans.nodes {
-				ans.scores[i] = w.buf[v]
-			}
-		}
-	}
-	e.solves.Add(1)
-	if key != "" {
-		e.cacheEvicted.Add(int64(e.cache.put(key, ans)))
-	}
-	return respond(snap, q.Measure, damping, ans, false, version, live), nil
+	t.keyed = true
+	t.prefix = pinnedPrefix(snap, entry.gen)
+	t.flightKey = t.prefix + t.suffix
+	return t, nil
 }
 
 // respond builds a Response around copies of the (possibly cached, and

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/lu"
+	"repro/internal/measures"
+	"repro/internal/sparse"
+)
+
+// The batching stage: each worker drains the admission queue, groups
+// compatible queued queries — same factors, hence same route — and
+// solves a group of k right-hand sides through one blocked factor
+// traversal (lu.Solver.SolveBlock). A group that degenerates to a
+// single query takes the classic per-query path, which includes the
+// reach-based sparse solve; blocks are always dense (a block exists
+// because load is high, and amortizing the factor walk across k dense
+// substitutions is the better trade than k independent sparse probes).
+// Both paths produce bit-identical answers, so batching is purely an
+// execution-schedule decision.
+
+// workerScratch is the per-worker reusable state: dense solve scratch,
+// sparse (reach-based) solve scratch, blocked solve scratch, and a
+// dense result buffer for answers that never enter the cache (top-k's
+// full vector), so a steady-state worker's per-query allocation is
+// only what the cache must own.
+type workerScratch struct {
+	ws  lu.SolveWorkspace
+	sws lu.SparseSolveWorkspace
+	bws lu.BlockWorkspace
+	buf []float64
+}
+
+// worker owns one scratch set and drains the admission queue in
+// batches.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	var w workerScratch
+	for {
+		select {
+		case t := <-e.queue:
+			batch := e.gather(t)
+			for len(batch) > 0 {
+				group, rest := splitGroup(batch)
+				e.serveGroup(group, &w)
+				batch = rest
+			}
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+// gather drains up to batchMax−1 more queued tasks without blocking:
+// whatever has piled up behind first is this worker's batch. Under
+// light load the queue is empty and every query solves alone at
+// minimum latency; under heavy load batches form by themselves — the
+// deeper the backlog, the wider the blocks, the higher the throughput.
+func (e *Engine) gather(first *task) []*task {
+	batch := []*task{first}
+	for len(batch) < e.batchMax {
+		select {
+		case t := <-e.queue:
+			batch = append(batch, t)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// splitGroup peels the head task's route group off the batch,
+// preserving arrival order in both halves.
+func splitGroup(batch []*task) (group, rest []*task) {
+	head := batch[0]
+	group = batch[:1]
+	for _, t := range batch[1:] {
+		if sameRoute(head, t) {
+			group = append(group, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	return group, rest
+}
+
+// sameRoute reports whether two tasks are answerable by the same
+// factors and cacheable in the same namespace — the condition for
+// solving them in one block. Pinned tasks must share the solver and
+// the generation-stamped prefix; live tasks must share the source and
+// attach generation (the version is re-read for the whole group at
+// solve time, so resolve-time versions need not match).
+func sameRoute(a, b *task) bool {
+	if a.live != b.live {
+		return false
+	}
+	if a.live {
+		return a.src == b.src && a.liveGen == b.liveGen
+	}
+	return a.solver == b.solver && a.prefix == b.prefix && a.snap == b.snap
+}
+
+// serveGroup answers one route group.
+func (e *Engine) serveGroup(group []*task, w *workerScratch) {
+	if group[0].live {
+		e.serveLiveGroup(group, w)
+		return
+	}
+	e.solveGroup(group, group[0].solver, w)
+}
+
+// serveLiveGroup solves a live group inside one view of the source.
+// The published version — and with it each task's cache-fill key — is
+// re-read under the same lock the factors are solved under, so a
+// publish racing the queue can never leave a stale answer filed under
+// a fresh version's key: answer and key always come from the same
+// locked read.
+func (e *Engine) serveLiveGroup(group []*task, w *workerScratch) {
+	src, gen := group[0].src, group[0].liveGen
+	viewed := src.View(func(version uint64, s *lu.Solver) {
+		prefix := livePrefix(gen, version)
+		for _, t := range group {
+			t.version = version
+			t.snap = int(version)
+			t.prefix = prefix
+		}
+		e.solveGroup(group, s, w)
+	})
+	if !viewed {
+		// The source was detached (or replaced by an empty one) after
+		// these queries were routed; fall back to the pinned store,
+		// exactly as resolve would have.
+		for _, t := range group {
+			e.fallbackPinned(t, w)
+		}
+	}
+}
+
+// fallbackPinned rebinds a live-routed task to the latest pinned
+// snapshot after its source vanished mid-flight. The flight stays
+// registered under its live key (finish deregisters it); the answer is
+// cached under the pinned prefix it was computed for.
+func (e *Engine) fallbackPinned(t *task, w *workerScratch) {
+	e.mu.RLock()
+	snap := e.latest
+	entry, ok := e.snaps[snap]
+	e.mu.RUnlock()
+	if snap < 0 {
+		e.finish(t, answer{}, ErrNoSnapshots)
+		return
+	}
+	if !ok {
+		e.finish(t, answer{}, fmt.Errorf("%w: %d", ErrUnknownSnapshot, snap))
+		return
+	}
+	t.live, t.src = false, nil
+	t.snap, t.version = snap, 0
+	t.solver = entry.s
+	t.prefix = pinnedPrefix(snap, entry.gen)
+	// Revalidate: the payload was canonicalized against the live
+	// dimension, which need not match the pinned one.
+	if err := t.canonicalize(entry.s.F.Dim()); err != nil {
+		e.finish(t, answer{}, err)
+		return
+	}
+	e.solveGroup([]*task{t}, entry.s, w)
+}
+
+// solveGroup answers a route group against its resolved solver: alone
+// through the classic path (sparse-capable), together through one
+// blocked traversal.
+func (e *Engine) solveGroup(group []*task, solver *lu.Solver, w *workerScratch) {
+	if len(group) == 1 {
+		e.serveSingle(group[0], solver, w)
+		return
+	}
+	e.serveBlock(group, solver, w)
+}
+
+// recordSparse accounts one reach-based solve in the stats.
+func (e *Engine) recordSparse(sp measures.SparseScores) {
+	e.sparseSolves.Add(1)
+	e.reachRows.Add(int64(len(sp.Idx)))
+	e.reachDen.Add(int64(sp.N))
+}
+
+// trySparse attempts one reach-based solve, keeping the stats honest:
+// a hit is recorded as a sparse solve, a reach-cap abort as a fallback
+// (the caller then performs — and records — a dense solve).
+func (e *Engine) trySparse(enabled bool, solve func() (measures.SparseScores, bool)) (measures.SparseScores, bool) {
+	if !enabled {
+		return measures.SparseScores{}, false
+	}
+	sp, ok := solve()
+	if !ok {
+		e.sparseFallbacks.Add(1)
+		return measures.SparseScores{}, false
+	}
+	e.recordSparse(sp)
+	return sp, true
+}
+
+// serveSingle answers one validated query against a resolved solver.
+// Single-source and seed-set measures go through the reach-based
+// sparse solve first and fall back to the dense substitution when the
+// reach probe exceeds the configured fraction of n; both paths produce
+// bit-identical answers (the stress test holds every response against
+// an independent cold dense solve).
+func (e *Engine) serveSingle(t *task, solver *lu.Solver, w *workerScratch) {
+	me := measures.NewSolverEngine(t.damping, solver)
+	frac := e.cfg.SparseReachFrac
+	useSparse := frac >= 0
+	var ans answer
+	switch t.q.Measure {
+	case MeasureRWR:
+		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
+			return me.RWRSparse(t.q.Source, frac, &w.sws)
+		}); ok {
+			ans.scores = sp.Dense(nil)
+		} else {
+			e.denseSolves.Add(1)
+			ans.scores = me.RWRWith(t.q.Source, &w.ws)
+		}
+	case MeasurePPR:
+		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
+			return me.PPRSparse(t.seeds, frac, &w.sws)
+		}); ok {
+			ans.scores = sp.Dense(nil)
+		} else {
+			e.denseSolves.Add(1)
+			ans.scores = me.PPRWith(t.seeds, &w.ws)
+		}
+	case MeasurePageRank:
+		// The right-hand side is dense (uniform restart): the reach is
+		// all of n by construction, so this measure is always dense.
+		e.denseSolves.Add(1)
+		ans.scores = me.PageRankWith(&w.ws)
+	case MeasureTopK:
+		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
+			return me.RWRSparse(t.q.Source, frac, &w.sws)
+		}); ok {
+			// Top-k straight from the sparse support: the full score
+			// vector is never materialized.
+			ans.nodes, ans.scores = measures.TopKSparse(sp, t.q.K)
+		} else {
+			e.denseSolves.Add(1)
+			w.buf = me.RWRInto(w.buf, t.q.Source, &w.ws)
+			ans.nodes = measures.TopK(w.buf, t.q.K)
+			ans.scores = make([]float64, len(ans.nodes))
+			for i, v := range ans.nodes {
+				ans.scores[i] = w.buf[v]
+			}
+		}
+	}
+	e.finish(t, ans, nil)
+}
+
+// serveBlock answers k ≥ 2 compatible queries through one blocked
+// multi-RHS solve. Each right-hand side is built by the exact formula
+// of its measure's single-query path (measures.RWRWith / PPRWith /
+// PageRankWith), and SolveBlock executes each vector's floating-point
+// operations in the single-solve order — so every answer is
+// bit-identical to the unbatched path, and a cache entry filled by a
+// block is indistinguishable from one filled by a lone solve.
+func (e *Engine) serveBlock(group []*task, solver *lu.Solver, w *workerScratch) {
+	n := solver.F.Dim()
+	k := len(group)
+	bs := make([][]float64, k)
+	for r, t := range group {
+		// Fresh vectors, not workspace: the solutions land in the cache
+		// and must be owned by it.
+		b := make([]float64, n)
+		restart := 1 - t.damping
+		switch t.q.Measure {
+		case MeasureRWR, MeasureTopK:
+			b[t.q.Source] = restart
+		case MeasurePPR:
+			wgt := restart / float64(len(t.seeds))
+			for _, s := range t.seeds {
+				b[s] += wgt
+			}
+		case MeasurePageRank:
+			for i := range b {
+				b[i] = restart / float64(n)
+			}
+		}
+		bs[r] = b
+	}
+	solver.SolveBlock(bs, bs, &w.bws)
+	e.blockSolves.Add(1)
+	e.blockedRHS.Add(int64(k))
+	e.denseSolves.Add(int64(k))
+	for r, t := range group {
+		x := bs[r]
+		var ans answer
+		switch t.q.Measure {
+		case MeasureTopK:
+			ans.nodes = measures.TopK(x, t.q.K)
+			ans.scores = make([]float64, len(ans.nodes))
+			for i, v := range ans.nodes {
+				ans.scores[i] = x[v]
+			}
+		case MeasurePageRank:
+			// The normalization PageRankWith applies, verbatim.
+			if s := sparse.Sum(x); s > 0 {
+				sparse.Scale(x, 1/s)
+			}
+			ans.scores = x
+		default:
+			ans.scores = x
+		}
+		e.finish(t, ans, nil)
+	}
+}
