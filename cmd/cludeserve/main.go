@@ -8,12 +8,13 @@
 //     sequence with CLUDE, pin every snapshot's factors, and serve
 //     snapshot-addressed queries.
 //   - Streaming (-stream): start from the sequence's first snapshot and
-//     maintain the factors live. Edge updates arrive over POST /update,
-//     are grouped into versioned batches, and each committed batch is
-//     hot-published into the serving layer without copying the factors
-//     (see docs/STREAMING.md). Latest-state queries answer from the
-//     live factors; -checkpoint k additionally pins a clone every k
-//     versions so recent history stays queryable by snapshot.
+//     maintain the factors live. Edge updates arrive over POST
+//     /v1/update, are grouped into versioned batches, and each
+//     committed batch is hot-published into the serving layer without
+//     copying the factors (see docs/STREAMING.md). Latest-state queries
+//     answer from the live factors; -checkpoint k additionally pins a
+//     clone every k versions so recent history stays queryable by
+//     snapshot.
 //
 // Usage:
 //
@@ -31,20 +32,15 @@
 // snapshots spill to <data-dir>/spill and reload transparently when
 // queried.
 //
-// Endpoints:
-//
-//	GET /query?measure=rwr&source=5[&snapshot=3]     RWR vector from node 5
-//	GET /query?measure=ppr&sources=1,2,3             PPR over a seed set
-//	GET /query?measure=pagerank                      global PageRank
-//	GET /query?measure=topk&source=5&k=10            top-10 nodes by RWR
-//	POST /query  {"measure":"rwr","source":5}        same, JSON body
-//	POST /update {"events":[{"from":1,"to":2,"op":"insert"}]}   (-stream)
-//	POST /update?sync=1                              commit before replying
-//	GET /snapshots                                   retained snapshot ids
-//	GET /stats                                       serving (+stream) counters
-//
-// snapshot defaults to -1: the live head in streaming mode, the latest
-// pinned snapshot otherwise.
+// The HTTP surface is the versioned /v1 API of internal/api (see
+// docs/API.md for the endpoint and metric reference); the bare legacy
+// paths (/query, /update, /snapshots, /stats) alias the same handlers.
+// Every subsystem's counters are exported both as JSON (/v1/stats) and
+// as Prometheus text exposition (/v1/metrics) from one shared registry,
+// including per-stage latency histograms of the query pipeline
+// (resolve/coalesce/admit/batch/solve) and — in streaming mode — the
+// ingest (validate/log/apply/publish) and durability
+// (wal_append/snapshot) pipelines.
 //
 // The query path is the admission-controlled pipeline of
 // docs/SERVING.md: identical concurrent queries coalesce into one
@@ -61,7 +57,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,17 +64,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
-	"path/filepath"
-
+	"repro/internal/api"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -98,7 +93,7 @@ func main() {
 		batchMax  = flag.Int("solve-batch", 0, "max queued queries grouped into one blocked multi-RHS solve (0 = default, 1 = disable batching)")
 		queryTO   = flag.Duration("query-timeout", 0, "per-query deadline covering queue wait and solve (0 = none)")
 
-		streaming  = flag.Bool("stream", false, "streaming mode: live edge-delta ingestion via POST /update")
+		streaming  = flag.Bool("stream", false, "streaming mode: live edge-delta ingestion via POST /v1/update")
 		algName    = flag.String("alg", "CLUDE", "streaming maintenance strategy: BF | INC | CINC | CLUDE")
 		batchSize  = flag.Int("batch", 64, "streaming: events per ingest batch")
 		flushMS    = flag.Int("flush-ms", 200, "streaming: max linger before a partial batch commits (0 = size-only)")
@@ -118,6 +113,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// One registry serves every subsystem: the engine, stream and store
+	// re-register their live counters into it (api.New), and the stage
+	// hooks below feed its histograms directly.
+	reg := metrics.NewRegistry()
 
 	scfg := serve.Config{
 		MaxSnapshots:    snapshotBound(*maxSnaps, egs.Len()),
@@ -143,7 +143,11 @@ func main() {
 			eng.Close()
 			fatal(perr)
 		}
-		st, err = store.Open(*dataDir, store.Options{Sync: policy, SnapshotEvery: *snapEvery})
+		st, err = store.Open(*dataDir, store.Options{
+			Sync:          policy,
+			SnapshotEvery: *snapEvery,
+			OnStage:       api.StoreStageHook(reg),
+		})
 		if err != nil {
 			eng.Close()
 			fatal(err)
@@ -153,16 +157,28 @@ func main() {
 	var stream *core.Stream
 	var batcher *core.Batcher
 	if *streaming {
-		stream, batcher, err = startStream(eng, st, egs, d.Damping, *algName, *alpha, *batchSize, *flushMS, *checkpoint)
+		stream, batcher, err = startStream(eng, st, reg, egs, d.Damping, *algName, *alpha, *batchSize, *flushMS, *checkpoint)
+		if err == nil {
+			// katz queries answer from the live builder's graph.
+			eng.AttachGraphs(api.StreamGraphs(stream))
+		}
 	} else {
 		err = factorOffline(eng, egs, d.Damping, *alpha, *factorW)
+		eng.AttachGraphs(api.EGSGraphs(egs))
 	}
 	if err != nil {
 		eng.Close()
 		fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(eng, stream, batcher, st)}
+	handler := api.New(api.Options{
+		Engine:   eng,
+		Stream:   stream,
+		Batcher:  batcher,
+		Store:    st,
+		Registry: reg,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("serving on %s", *addr)
@@ -238,15 +254,16 @@ func factorOffline(eng *serve.Engine, egs *graph.EGS, damping, alpha float64, fa
 // startStream is the live mode: seed a streaming engine with the first
 // snapshot (or, with a durability store, recover the pre-crash state
 // from its newest snapshot plus the WAL tail), attach it as the serve
-// layer's live source, and return the ingest batcher POST /update
+// layer's live source, and return the ingest batcher POST /v1/update
 // feeds. A fatal dataset mismatch aside, a recovered boot serves the
 // exact factors the crashed process last published.
-func startStream(eng *serve.Engine, st *store.Store, egs *graph.EGS, damping float64, algName string, alpha float64, batchSize, flushMS, checkpoint int) (*core.Stream, *core.Batcher, error) {
+func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs *graph.EGS, damping float64, algName string, alpha float64, batchSize, flushMS, checkpoint int) (*core.Stream, *core.Batcher, error) {
 	cfg := core.StreamConfig{
 		Algorithm: core.Algorithm(strings.ToUpper(algName)),
 		Alpha:     alpha,
 		Initial:   egs.Snapshots[0],
 		Derive:    graph.RWRMatrix(damping),
+		OnStage:   api.IngestStageHook(reg),
 	}
 	if checkpoint > 0 {
 		cfg.OnPublish = eng.CheckpointEvery(uint64(checkpoint))
@@ -276,222 +293,6 @@ func startStream(eng *serve.Engine, st *store.Store, egs *graph.EGS, damping flo
 	log.Printf("streaming %s over n=%d (boot %v); ingest batches of %d, linger %dms, checkpoint every %d",
 		cfg.Algorithm, stream.N(), time.Since(t0).Round(time.Millisecond), batchSize, flushMS, checkpoint)
 	return stream, stream.NewBatcher(batchSize, time.Duration(flushMS)*time.Millisecond), nil
-}
-
-// newMux wires the endpoints. stream/batcher are nil in offline mode;
-// st is nil without -data-dir.
-func newMux(eng *serve.Engine, stream *core.Stream, batcher *core.Batcher, st *store.Store) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		q, err := parseQuery(r)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		resp, err := eng.Query(r.Context(), q)
-		if err != nil {
-			if errors.Is(err, serve.ErrOverloaded) {
-				// Shedding is instantaneous, so the client may retry as
-				// soon as the current backlog drains.
-				w.Header().Set("Retry-After", "1")
-			}
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
-		if batcher == nil {
-			writeError(w, http.StatusNotFound, errors.New("not in streaming mode (run with -stream)"))
-			return
-		}
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
-			return
-		}
-		events, err := parseUpdate(r, stream.N())
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if err := batcher.Send(events...); err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		out := map[string]interface{}{"queued": len(events)}
-		if r.URL.Query().Get("sync") != "" {
-			v, err := batcher.Flush()
-			if err != nil {
-				writeError(w, statusFor(err), err)
-				return
-			}
-			out["version"] = v
-		} else {
-			out["pending"] = batcher.Pending()
-			out["version"] = stream.Version()
-		}
-		writeJSON(w, out)
-	})
-	mux.HandleFunc("/snapshots", func(w http.ResponseWriter, r *http.Request) {
-		out := map[string]interface{}{
-			"retained": eng.Snapshots(),
-			"latest":   eng.Latest(),
-		}
-		if stream != nil {
-			out["live_version"] = stream.Version()
-		}
-		writeJSON(w, out)
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		es := eng.Stats()
-		out := map[string]interface{}{
-			"stats":    es,
-			"hit_rate": es.HitRate(),
-		}
-		if stream != nil {
-			out["stream"] = stream.Stats()
-		}
-		if st != nil {
-			out["store"] = st.Stats()
-		}
-		writeJSON(w, out)
-	})
-	return mux
-}
-
-// updateBody is the POST /update payload.
-type updateBody struct {
-	Events []updateEvent `json:"events"`
-}
-
-type updateEvent struct {
-	From int    `json:"from"`
-	To   int    `json:"to"`
-	Op   string `json:"op,omitempty"` // insert (default) | delete | update | + | - | ~
-}
-
-// parseUpdate decodes and fully validates an ingest batch. Validation
-// must happen here, synchronously: an async (batched) update is
-// acknowledged before it commits, and a malformed event reaching the
-// batcher would poison the whole coalesced batch — dropping other
-// clients' already-acknowledged events and surfacing the error to an
-// unrelated request.
-func parseUpdate(r *http.Request, n int) ([]graph.EdgeEvent, error) {
-	var body updateBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		return nil, fmt.Errorf("bad JSON body: %w", err)
-	}
-	if len(body.Events) == 0 {
-		return nil, errors.New("empty event list")
-	}
-	events := make([]graph.EdgeEvent, len(body.Events))
-	for i, ev := range body.Events {
-		op := graph.EdgeInsert
-		if ev.Op != "" {
-			var err error
-			if op, err = graph.ParseEdgeOp(ev.Op); err != nil {
-				return nil, err
-			}
-		}
-		if ev.From < 0 || ev.From >= n || ev.To < 0 || ev.To >= n {
-			return nil, fmt.Errorf("event %d: endpoint (%d,%d) outside [0,%d)", i, ev.From, ev.To, n)
-		}
-		events[i] = graph.EdgeEvent{From: ev.From, To: ev.To, Op: op}
-	}
-	return events, nil
-}
-
-// queryParams is the closed set of /query URL parameters. Anything
-// else is a client error: silently ignoring a typo ("sorce=5") would
-// answer a different question than the one asked.
-var queryParams = map[string]bool{
-	"measure": true, "snapshot": true, "source": true,
-	"sources": true, "k": true, "damping": true,
-}
-
-// parseQuery accepts either URL parameters (GET) or a JSON body (POST)
-// shaped like serve.Query. Unknown or repeated parameters (and unknown
-// JSON fields) are rejected with a descriptive error, which the
-// handler returns as HTTP 400.
-func parseQuery(r *http.Request) (serve.Query, error) {
-	q := serve.Query{Snapshot: -1}
-	if r.Method == http.MethodPost {
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&q); err != nil {
-			return q, fmt.Errorf("bad JSON body: %w", err)
-		}
-		return q, nil
-	}
-	v := r.URL.Query()
-	for key, vals := range v {
-		if !queryParams[key] {
-			return q, fmt.Errorf("unknown query parameter %q", key)
-		}
-		if len(vals) > 1 {
-			return q, fmt.Errorf("query parameter %q given %d times", key, len(vals))
-		}
-	}
-	q.Measure = v.Get("measure")
-	var err error
-	if s := v.Get("snapshot"); s != "" {
-		if q.Snapshot, err = strconv.Atoi(s); err != nil {
-			return q, fmt.Errorf("bad snapshot %q", s)
-		}
-	}
-	if s := v.Get("source"); s != "" {
-		if q.Source, err = strconv.Atoi(s); err != nil {
-			return q, fmt.Errorf("bad source %q", s)
-		}
-	}
-	if s := v.Get("k"); s != "" {
-		if q.K, err = strconv.Atoi(s); err != nil {
-			return q, fmt.Errorf("bad k %q", s)
-		}
-	}
-	if s := v.Get("sources"); s != "" {
-		for _, part := range strings.Split(s, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				return q, fmt.Errorf("bad sources entry %q", part)
-			}
-			q.Sources = append(q.Sources, n)
-		}
-	}
-	if s := v.Get("damping"); s != "" {
-		if q.Damping, err = strconv.ParseFloat(s, 64); err != nil {
-			return q, fmt.Errorf("bad damping %q", s)
-		}
-	}
-	return q, nil
-}
-
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, serve.ErrOverloaded):
-		return http.StatusTooManyRequests
-	case errors.Is(err, serve.ErrUnknownSnapshot), errors.Is(err, serve.ErrNoSnapshots):
-		return http.StatusNotFound
-	case errors.Is(err, serve.ErrClosed), errors.Is(err, core.ErrStreamClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusBadRequest
-	}
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
 // fatal matches cludebench's exit convention.

@@ -1,0 +1,48 @@
+package api
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// Graph sources for the engine's graph-backed measures (katz): the
+// offline deployment serves graphs straight from the materialized EGS,
+// the streaming deployment from the live builder's latest state.
+
+// egsGraphs serves a pre-materialized sequence: snapshot i is graph i,
+// negative resolves to the final snapshot.
+type egsGraphs struct{ egs *graph.EGS }
+
+// EGSGraphs adapts an EGS as the engine's GraphSource (offline mode).
+func EGSGraphs(egs *graph.EGS) serve.GraphSource { return egsGraphs{egs} }
+
+func (s egsGraphs) GraphAt(i int) (*graph.Graph, int, bool) {
+	if i < 0 {
+		i = s.egs.Len() - 1
+	}
+	if i >= s.egs.Len() {
+		return nil, 0, false
+	}
+	return s.egs.Snapshots[i], i, true
+}
+
+// streamGraphs serves the live head: only the latest state exists as a
+// graph, keyed by its published version (graphs per version are
+// immutable, so cached katz answers stay correct across publishes —
+// a new version is a new snapshot id and a new cache entry).
+type streamGraphs struct{ s *core.Stream }
+
+// StreamGraphs adapts a live stream as the engine's GraphSource
+// (streaming mode). A request for an explicit snapshot id only
+// succeeds when it names the current version; historical graph states
+// are not retained.
+func StreamGraphs(s *core.Stream) serve.GraphSource { return streamGraphs{s} }
+
+func (sg streamGraphs) GraphAt(i int) (*graph.Graph, int, bool) {
+	version, g := sg.s.GraphSnapshot()
+	if i >= 0 && uint64(i) != version {
+		return nil, 0, false
+	}
+	return g, int(version), true
+}

@@ -1,0 +1,103 @@
+package api
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// This file is the bridge between the import-clean subsystems and the
+// registry: core and store expose plain Stats() structs and OnStage
+// hooks; the closures here re-express them as registry collectors, so
+// /v1/metrics can never drift from what /v1/stats reports.
+
+// registerStreamMetrics exposes the ingest engine's counters, reading
+// through Stream.Stats on every scrape.
+func registerStreamMetrics(r *metrics.Registry, s *core.Stream) {
+	r.GaugeFunc("clude_stream_version", "Latest published factor version of the stream.", nil,
+		func() float64 { return float64(s.Version()) })
+	cf := func(name, help string, read func(core.StreamStats) float64) {
+		r.CounterFunc(name, help, nil, func() float64 { return read(s.Stats()) })
+	}
+	cf("clude_stream_batches_total", "Delta batches committed (every validated batch, succeeded or not).",
+		func(st core.StreamStats) float64 { return float64(st.Batches) })
+	cf("clude_stream_events_total", "Edge events consumed across all batches.",
+		func(st core.StreamStats) float64 { return float64(st.Events) })
+	cf("clude_stream_events_applied_total", "Edge events that changed the edge set.",
+		func(st core.StreamStats) float64 { return float64(st.EventsApplied) })
+	cf("clude_stream_clusters_total", "Clusters opened by the maintenance strategy.",
+		func(st core.StreamStats) float64 { return float64(st.Clusters) })
+	cf("clude_stream_struct_rebuilds_total", "CLUDE structure rebuilds forced by the cluster union outgrowing the USSP.",
+		func(st core.StreamStats) float64 { return float64(st.StructRebuilds) })
+	cf("clude_stream_refactorizations_total", "Numerical fallbacks: failed Bennett updates answered by a full refactorization.",
+		func(st core.StreamStats) float64 { return float64(st.Refactorizations) })
+}
+
+// registerStoreMetrics exposes the durability layer's counters, reading
+// through Store.Stats on every scrape.
+func registerStoreMetrics(r *metrics.Registry, st *store.Store) {
+	cf := func(name, help string, read func(store.StoreStats) float64) {
+		r.CounterFunc(name, help, nil, func() float64 { return read(st.Stats()) })
+	}
+	gf := func(name, help string, read func(store.StoreStats) float64) {
+		r.GaugeFunc(name, help, nil, func() float64 { return read(st.Stats()) })
+	}
+	cf("clude_wal_records_total", "Batches appended to the write-ahead log.",
+		func(s store.StoreStats) float64 { return float64(s.WALRecords) })
+	cf("clude_wal_bytes_total", "Bytes appended to the write-ahead log.",
+		func(s store.StoreStats) float64 { return float64(s.WALBytes) })
+	cf("clude_wal_fsyncs_total", "WAL fsync calls.",
+		func(s store.StoreStats) float64 { return float64(s.WALFsyncs) })
+	gf("clude_wal_segments", "WAL segment files currently on disk.",
+		func(s store.StoreStats) float64 { return float64(s.WALSegments) })
+	cf("clude_store_snapshots_written_total", "Factor checkpoints written.",
+		func(s store.StoreStats) float64 { return float64(s.SnapshotsWritten) })
+	cf("clude_store_snapshot_errors_total", "Background checkpoint failures.",
+		func(s store.StoreStats) float64 { return float64(s.SnapshotErrors) })
+	gf("clude_store_last_snapshot_seq", "WAL sequence number of the newest checkpoint.",
+		func(s store.StoreStats) float64 { return float64(s.LastSnapshotSeq) })
+	gf("clude_store_last_snapshot_version", "Stream version of the newest checkpoint.",
+		func(s store.StoreStats) float64 { return float64(s.LastSnapshotVersion) })
+	gf("clude_store_recovered", "1 when this boot warm-restarted from a checkpoint, 0 on cold start.",
+		func(s store.StoreStats) float64 {
+			if s.Recovery.Recovered {
+				return 1
+			}
+			return 0
+		})
+	gf("clude_store_replayed_batches", "WAL batches replayed on top of the recovery checkpoint at boot.",
+		func(s store.StoreStats) float64 { return float64(s.Recovery.ReplayedBatches) })
+}
+
+// IngestStageHook registers the ingest pipeline's stage histograms
+// (clude_ingest_stage_seconds{stage=validate|log|apply|publish}) and
+// returns the core.StreamConfig.OnStage hook feeding them. Unknown
+// stage names are dropped rather than panicking inside the commit path.
+func IngestStageHook(r *metrics.Registry) func(stage string, d time.Duration) {
+	return stageHook(r, "clude_ingest_stage_seconds",
+		"Per-stage durations of the ingest pipeline: validate, log (WAL append hook), apply (graph + factor step), publish.",
+		[]string{"validate", "log", "apply", "publish"})
+}
+
+// StoreStageHook registers the durability layer's stage histograms
+// (clude_store_stage_seconds{stage=wal_append|snapshot}) and returns
+// the store.Options.OnStage hook feeding them.
+func StoreStageHook(r *metrics.Registry) func(stage string, d time.Duration) {
+	return stageHook(r, "clude_store_stage_seconds",
+		"Per-stage durations of the durability layer: wal_append (durable log write), snapshot (checkpoint export + write).",
+		[]string{"wal_append", "snapshot"})
+}
+
+func stageHook(r *metrics.Registry, name, help string, stages []string) func(string, time.Duration) {
+	hists := make(map[string]*metrics.Histogram, len(stages))
+	for _, s := range stages {
+		hists[s] = r.Histogram(name, help, metrics.Labels{"stage": s})
+	}
+	return func(stage string, d time.Duration) {
+		if h := hists[stage]; h != nil {
+			h.Observe(d)
+		}
+	}
+}

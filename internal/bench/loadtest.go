@@ -20,7 +20,7 @@ import (
 // load (see docs/SERVING.md), isolating what each stage buys. Client
 // behavior is open-loop: arrivals are paced by a clock, not by
 // completions, so overload shows up as queue pressure and shedding
-// instead of silently slowing the clients down. Three tables:
+// instead of silently slowing the clients down. Four tables:
 //
 //  1. A *stampede* — hot keys arrive in bursts of duplicates at ~4x
 //     the single-solve capacity, the thundering-herd shape of
@@ -39,6 +39,10 @@ import (
 //     capacity: below capacity nothing sheds; at 2x the excess is
 //     shed promptly (ErrOverloaded) while the p99 of answered
 //     queries stays bounded by the queue instead of the backlog.
+//  4. A *stage breakdown* of the 2x run from the engine's per-stage
+//     histograms (serve.Stats.QueryStages, the same data /v1/metrics
+//     exposes): where a query's time goes across
+//     resolve/coalesce/admit/batch/solve under saturation.
 //
 // The sparse reach-based path is disabled throughout: the Wiki graph
 // is a single strongly-connected blob with full reach, and the sparse
@@ -124,11 +128,13 @@ func LoadTest(d Datasets) ([]*Table, error) {
 		Title:  "Overload sweep (full pipeline): excess load sheds fast and answered latency stays queue-bounded",
 		Header: []string{"offered/capacity", "offered qps", "goodput qps", "shed frac", "ans p95", "shed p99"},
 	}
+	var last *openResult
 	for _, frac := range []float64{0.25, 0.5, 2.0} {
 		r, err := lt.openLoad(serve.Config{BatchMax: 16, SparseReachFrac: -1}, frac*capacity, 1, -1)
 		if err != nil {
 			return nil, err
 		}
+		last = r
 		sweep.Rows = append(sweep.Rows, []string{
 			fmt.Sprintf("%.2fx", frac),
 			f(r.offeredQPS()),
@@ -139,7 +145,29 @@ func LoadTest(d Datasets) ([]*Table, error) {
 		})
 	}
 
-	return []*Table{stampede, distinct, sweep}, nil
+	// Where the time goes: the engine's own stage histograms (the same
+	// ones /v1/metrics exposes as clude_query_stage_seconds) over the
+	// final 2x-overload run — under shedding, admit wait should
+	// dominate while resolve and batch stay negligible.
+	stages := &Table{
+		Title:  "Pipeline stages of the 2.0x run (engine-side histograms; quantiles are log2-bucket upper bounds)",
+		Header: []string{"stage", "count", "p50", "p95", "p99"},
+	}
+	for _, name := range []string{"resolve", "coalesce", "admit", "batch", "solve"} {
+		sl, ok := last.st.QueryStages[name]
+		if !ok {
+			continue
+		}
+		stages.Rows = append(stages.Rows, []string{
+			name,
+			fmt.Sprint(sl.Count),
+			durUS(time.Duration(sl.P50us * 1e3)),
+			durUS(time.Duration(sl.P95us * 1e3)),
+			durUS(time.Duration(sl.P99us * 1e3)),
+		})
+	}
+
+	return []*Table{stampede, distinct, sweep, stages}, nil
 }
 
 // loadTester shares the pinned solvers and workload parameters across

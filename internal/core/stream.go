@@ -85,6 +85,15 @@ type StreamConfig struct {
 	// layer: no state change is ever visible that is not logged first.
 	// ReplayBatch skips this hook (its batches are already durable).
 	LogBatch func(seq uint64, events []graph.EdgeEvent) error
+	// OnStage, when non-nil, receives the duration of each ingest
+	// pipeline stage per committed batch: "validate" (batch
+	// validation), "log" (the LogBatch hook, observed only when it
+	// runs), "apply" (graph mutation + derive + strategy step) and
+	// "publish" (version bump + OnPublish). It is called under the
+	// stream's write lock and must be fast and non-blocking — its
+	// intended use is feeding metrics histograms. The hook keeps this
+	// package import-clean of any metrics implementation.
+	OnStage func(stage string, d time.Duration)
 }
 
 // StreamStats is a point-in-time snapshot of a stream's counters.
@@ -216,15 +225,30 @@ func (s *Stream) Seq() uint64 {
 }
 
 // applyLocked is the shared commit path of Apply and ReplayBatch.
-// Callers hold the write lock.
+// Callers hold the write lock. Stage timers run only when an OnStage
+// hook is installed, so the unobserved pipeline pays no clock reads.
 func (s *Stream) applyLocked(events []graph.EdgeEvent, logIt bool) (uint64, error) {
+	var t0 time.Time
+	traced := s.cfg.OnStage != nil
+	stage := func(name string) {
+		if traced {
+			now := time.Now()
+			s.cfg.OnStage(name, now.Sub(t0))
+			t0 = now
+		}
+	}
+	if traced {
+		t0 = time.Now()
+	}
 	if err := s.builder.ValidateBatch(events); err != nil {
 		return 0, err
 	}
+	stage("validate")
 	if logIt && s.cfg.LogBatch != nil {
 		if err := s.cfg.LogBatch(s.seq+1, events); err != nil {
 			return 0, fmt.Errorf("core: %s batch log: %w", s.cfg.Algorithm, err)
 		}
+		stage("log")
 	}
 	s.seq++
 	applied, _ := s.builder.ApplyBatch(events) // already validated
@@ -235,9 +259,11 @@ func (s *Stream) applyLocked(events []graph.EdgeEvent, logIt bool) (uint64, erro
 	if err := s.step(cur); err != nil {
 		return 0, err
 	}
+	stage("apply")
 	s.version++
 	s.stats.Version = s.version
 	s.publishLocked()
+	stage("publish")
 	return s.version, nil
 }
 
@@ -373,6 +399,18 @@ func (s *Stream) View(fn func(version uint64, sv *lu.Solver)) bool {
 	}
 	fn(s.version, s.solver)
 	return true
+}
+
+// GraphSnapshot returns the latest published version together with an
+// immutable snapshot of the graph at that version (Builder.Graph
+// materializes a fresh copy). Both are read under the same lock, so
+// they are mutually consistent; callers may retain the graph
+// indefinitely (graph-backed measures key cached answers by the
+// returned version).
+func (s *Stream) GraphSnapshot() (uint64, *graph.Graph) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version, s.builder.Graph()
 }
 
 // Version returns the latest published version.

@@ -18,12 +18,7 @@ import (
 // sufficient condition that also keeps the matrix diagonally dominant.
 func Katz(g *graph.Graph, alpha float64) ([]float64, error) {
 	n := g.N()
-	maxIn := 0
-	for v := 0; v < n; v++ {
-		if d := g.InDegree(v); d > maxIn {
-			maxIn = d
-		}
-	}
+	maxIn := maxInDegree(g)
 	if maxIn > 0 && alpha >= 1/float64(maxIn) {
 		return nil, fmt.Errorf("measures: Katz alpha %v too large (max in-degree %d)", alpha, maxIn)
 	}
@@ -44,6 +39,28 @@ func Katz(g *graph.Graph, alpha float64) ([]float64, error) {
 		return nil, err
 	}
 	return s.Solve(b), nil
+}
+
+// DefaultKatzAlpha returns the conventional attenuation for Katz on
+// g: 0.85/maxInDegree, comfortably inside Katz's α·maxInDegree < 1
+// convergence requirement (0.85 for an edgeless graph, where any
+// α < 1 converges).
+func DefaultKatzAlpha(g *graph.Graph) float64 {
+	maxIn := maxInDegree(g)
+	if maxIn == 0 {
+		return 0.85
+	}
+	return 0.85 / float64(maxIn)
+}
+
+func maxInDegree(g *graph.Graph) int {
+	maxIn := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+	}
+	return maxIn
 }
 
 // HITS computes hub and authority scores by the classic mutual

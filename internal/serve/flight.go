@@ -3,7 +3,9 @@ package serve
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/graph"
 	"repro/internal/lu"
 )
 
@@ -37,12 +39,21 @@ type task struct {
 	snap    int
 	version uint64
 
+	// graph is the katz route's input (see graphs.go); solver-backed
+	// tasks leave it nil.
+	graph *graph.Graph
+
 	// keyed is false only on the spill-reload race fallback, whose
 	// answers have no stable generation: no cache entry, no coalescing.
 	keyed     bool
 	prefix    string // cache-key namespace (generation-stamped)
 	suffix    string // canonical query payload (keySuffix)
 	flightKey string
+
+	// Stage-tracing timestamps (see hist.go): set at enqueue and at
+	// worker dequeue.
+	enqueuedAt time.Time
+	dequeuedAt time.Time
 }
 
 // canonicalize validates the query payload against dimension n and

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/measures"
+)
+
+// Graph-backed measures: Katz centrality solves (I − α·Wᵀ)x = α·Wᵀ·1
+// on the *raw adjacency* kernel, not the RWR matrix the pinned factors
+// decompose, so it cannot reuse them — each distinct (snapshot, α)
+// pair is one dedicated factorization. What it does reuse is the whole
+// serving pipeline: katz queries are routed, admission-controlled,
+// single-flight coalesced and result-cached exactly like the
+// solver-backed measures, which is what makes a per-query
+// factorization servable at all (identical concurrent katz queries
+// share one factorization; repeats are cache hits).
+
+// GraphSource provides the graph behind a snapshot for graph-backed
+// measures. Implementations must return immutable graphs: the engine
+// caches and shares answers per resolved snapshot id.
+type GraphSource interface {
+	// GraphAt materializes the graph for snapshot index i; i < 0 means
+	// the latest state (the live version in streaming deployments). It
+	// returns the resolved snapshot id — the value answers are keyed
+	// and reported under — and ok=false when no graph is retained for
+	// i.
+	GraphAt(i int) (g *graph.Graph, snap int, ok bool)
+}
+
+// AttachGraphs routes graph-backed measures (katz) to src, the graph
+// twin of AttachLive. Attaching nil detaches, making those measures
+// fail with ErrNoGraphSource again.
+func (e *Engine) AttachGraphs(src GraphSource) {
+	e.mu.Lock()
+	e.graphs = src
+	e.mu.Unlock()
+}
+
+// resolveKatz routes a katz query: fetch the snapshot's graph, resolve
+// the attenuation α (Query.Damping, or the 0.85/maxInDegree default —
+// resolved *here* so explicit and defaulted queries for the same α
+// share one cache key), and derive the flight key. The "katz#" key
+// namespace can never collide with the pinned ("<snap>#…") or live
+// ("live#…") namespaces, and graphs per snapshot id are immutable, so
+// no generation stamp is needed.
+func (e *Engine) resolveKatz(q Query) (*task, error) {
+	e.mu.RLock()
+	src := e.graphs
+	e.mu.RUnlock()
+	if src == nil {
+		return nil, ErrNoGraphSource
+	}
+	g, snap, ok := src.GraphAt(q.Snapshot)
+	if !ok {
+		if q.Snapshot < 0 {
+			return nil, ErrNoSnapshots
+		}
+		return nil, fmt.Errorf("%w: %d (no graph retained)", ErrUnknownSnapshot, q.Snapshot)
+	}
+	alpha := q.Damping
+	if alpha == 0 {
+		alpha = measures.DefaultKatzAlpha(g)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("serve: katz alpha %v outside (0,1)", alpha)
+	}
+	t := &task{q: q, damping: alpha, graph: g, snap: snap, keyed: true}
+	t.suffix = keySuffix(MeasureKatz, 0, nil, 0, alpha)
+	t.prefix = "katz#" + strconv.Itoa(snap)
+	t.flightKey = t.prefix + t.suffix
+	return t, nil
+}
+
+// serveKatz answers one katz task: a dedicated factorization over the
+// task's graph. Solve errors (α too large for the graph's in-degree)
+// surface to every waiter through the flight, like any other solve
+// failure.
+func (e *Engine) serveKatz(t *task) {
+	scores, err := measures.Katz(t.graph, t.damping)
+	if err != nil {
+		e.finish(t, answer{}, err)
+		return
+	}
+	e.katzSolves.Add(1)
+	e.finish(t, answer{scores: scores}, nil)
+}

@@ -1,58 +1,49 @@
 package serve
 
-import (
-	"math"
-	"math/bits"
-	"sync/atomic"
-	"time"
+// Stage tracing of the query pipeline. Every query's journey through
+//
+//	resolve ──▶ coalesce ──▶ admit ──▶ batch ──▶ solve
+//
+// is timed into one log₂-bucketed histogram per stage
+// (metrics.Histogram — the same buckets back Stats.QueryStages and the
+// clude_query_stage_seconds exposition, so /stats and /metrics can
+// never disagree):
+//
+//   - resolve: routing + validation time of e.resolve, every query.
+//   - coalesce: how long a coalesced follower waited on the shared
+//     flight (followers only — the leader's wait is admit + batch +
+//     solve).
+//   - admit: queue wait of enqueued tasks, from enqueue to a worker
+//     dequeuing them.
+//   - batch: from dequeue to the task's group starting to solve — the
+//     gathering/grouping overhead plus any wait behind earlier groups
+//     of the same worker batch.
+//   - solve: one observation per group dispatch (single or blocked),
+//     covering the factor substitution (or the Katz factorization) and
+//     answer publication.
+//
+// The end-to-end latency histogram (Stats.LatencyP*, exposed as
+// clude_query_latency_seconds) is observed separately in Query.
+const (
+	stageResolve = iota
+	stageCoalesce
+	stageAdmit
+	stageBatch
+	stageSolve
+	numStages
 )
 
-// latHist is a lock-free log₂-bucketed latency histogram: bucket b
-// counts observations with bits.Len64(ns) == b, i.e. durations in
-// [2^(b−1), 2^b) ns. Sixty-four buckets cover every representable
-// duration, observation is one atomic increment, and percentile reads
-// report a bucket's upper bound — at most 2× the true quantile, which
-// is the right fidelity for an overload dashboard (the interesting
-// signals are order-of-magnitude shifts, not nanoseconds).
-type latHist struct {
-	buckets [64]atomic.Int64
-}
+// stageNames indexes the stage histograms; these strings are the
+// `stage` label values of clude_query_stage_seconds and the keys of
+// Stats.QueryStages.
+var stageNames = [numStages]string{"resolve", "coalesce", "admit", "batch", "solve"}
 
-// observe records one successful-query latency.
-func (h *latHist) observe(d time.Duration) {
-	b := bits.Len64(uint64(d.Nanoseconds()))
-	if b > 63 {
-		b = 63
-	}
-	h.buckets[b].Add(1)
-}
-
-// percentileUS returns the p-quantile (0 < p ≤ 1) in microseconds, as
-// the upper bound of the bucket holding the rank-⌈p·total⌉
-// observation; 0 when nothing has been observed. The read is not
-// atomic across buckets — concurrent observations can skew a live read
-// by their own count, which is fine for monitoring.
-func (h *latHist) percentileUS(p float64) float64 {
-	var counts [64]int64
-	var total int64
-	for i := range h.buckets {
-		c := h.buckets[i].Load()
-		counts[i] = c
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(p * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for b, c := range counts {
-		cum += c
-		if cum >= rank {
-			return float64(uint64(1)<<uint(b)) / 1e3
-		}
-	}
-	return float64(uint64(1)<<63) / 1e3
+// StageLatency summarizes one pipeline stage's duration histogram in
+// Stats. Percentiles are bucket upper bounds (≤ 2× the true quantile),
+// in microseconds, matching the top-level latency fields.
+type StageLatency struct {
+	Count int64   `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
 }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/lu"
+	"repro/internal/metrics"
+)
+
+// RegisterMetrics re-registers the engine's counters, gauges and
+// histograms into r under the clude_ namespace. The registered series
+// read the *same* atomics Stats reads — the exposition and /stats are
+// two views of one state and can never disagree. In particular the
+// admission invariant becomes a scrape-checkable metric relation:
+//
+//	clude_queries_admitted_total + clude_queries_coalesced_total
+//	  + clude_queries_shed_total == clude_queries_total
+//
+// Call once per engine per registry, at wiring time.
+func (e *Engine) RegisterMetrics(r *metrics.Registry) {
+	cf := func(name, help string, v *atomic.Int64) {
+		r.CounterFunc(name, help, nil, func() float64 { return float64(v.Load()) })
+	}
+	cf("clude_queries_total", "Queries submitted to the serving engine.", &e.queries)
+	cf("clude_queries_admitted_total", "Queries that entered the serving path (cache hits, enqueued solves, and validation rejects).", &e.admitted)
+	cf("clude_queries_coalesced_total", "Queries that joined an identical in-flight query instead of computing their own answer.", &e.coalesced)
+	cf("clude_queries_shed_total", "Queries fast-failed with ErrOverloaded at the full admission queue.", &e.shed)
+	cf("clude_queries_rejected_total", "Queries that returned an error (validation, cancellation, shedding).", &e.rejected)
+	cf("clude_cache_hits_total", "Result-cache hits over answered queries.", &e.hits)
+	cf("clude_cache_misses_total", "Result-cache misses (one per completed flight).", &e.misses)
+	cf("clude_cache_evictions_total", "Result-cache LRU evictions.", &e.cacheEvicted)
+	cf("clude_solves_total", "Cold solves (cache fills), all paths.", &e.solves)
+	cf("clude_block_solves_total", "Blocked multi-RHS dispatches (groups of >= 2 compatible queries).", &e.blockSolves)
+	cf("clude_blocked_rhs_total", "Right-hand sides carried by blocked dispatches.", &e.blockedRHS)
+	cf("clude_sparse_solves_total", "Cold solves answered through the reach-based sparse path.", &e.sparseSolves)
+	cf("clude_dense_solves_total", "Cold solves answered through the dense substitution.", &e.denseSolves)
+	cf("clude_sparse_fallbacks_total", "Sparse attempts aborted at the reach cap (each also counts one dense solve).", &e.sparseFallbacks)
+	cf("clude_katz_solves_total", "Cold solves answered by the graph-backed Katz factorization.", &e.katzSolves)
+	cf("clude_snapshots_pinned_total", "Snapshot pins into the bounded store.", &e.pinCount)
+	cf("clude_snapshots_evicted_total", "Snapshot evictions from the bounded store.", &e.snapEvicted)
+	cf("clude_spill_writes_total", "Evicted snapshots spilled to disk.", &e.spillWrites)
+	cf("clude_spill_reloads_total", "Spilled snapshots transparently reloaded on access.", &e.spillLoads)
+	cf("clude_spill_errors_total", "Spill-path failures (each degraded to the no-spill behavior).", &e.spillErrors)
+	cf("clude_live_queries_total", "Queries answered from the attached live source's hot factors.", &e.liveQueries)
+
+	r.GaugeFunc("clude_cache_entries", "Result-cache entries currently held.", nil,
+		func() float64 { return float64(e.cache.len()) })
+	r.GaugeFunc("clude_snapshots_retained", "Snapshots currently pinned in the store.", nil,
+		func() float64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			return float64(len(e.pinned))
+		})
+	r.GaugeFunc("clude_workers", "Query worker pool size.", nil,
+		func() float64 { return float64(e.cfg.Workers) })
+	r.GaugeFunc("clude_live_attached", "1 when a live factor source is attached and publishing.", nil,
+		func() float64 {
+			if src, _ := e.liveSource(); src != nil {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("clude_live_version", "Latest published version of the attached live source.", nil,
+		func() float64 {
+			var v uint64
+			if src, _ := e.liveSource(); src != nil {
+				src.View(func(version uint64, _ *lu.Solver) { v = version })
+			}
+			return float64(v)
+		})
+
+	r.RegisterHistogram("clude_query_latency_seconds",
+		"End-to-end latency of successfully answered queries (entry to answer).", nil, &e.lat)
+	for i := range e.stages {
+		r.RegisterHistogram("clude_query_stage_seconds",
+			"Per-stage durations of the query pipeline: resolve, coalesce, admit, batch, solve.",
+			metrics.Labels{"stage": stageNames[i]}, &e.stages[i])
+	}
+}

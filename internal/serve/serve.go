@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/lu"
+	"repro/internal/metrics"
 )
 
 // The measure names a Query may carry.
@@ -48,6 +49,12 @@ const (
 	MeasurePPR      = "ppr"      // personalized PageRank over Sources
 	MeasurePageRank = "pagerank" // global PageRank
 	MeasureTopK     = "topk"     // top-K nodes of the RWR from Source
+	// MeasureKatz is Katz centrality, the graph-backed measure: it is
+	// answered from the snapshot's graph (AttachGraphs) by a dedicated
+	// factorization rather than from the pinned RWR factors. The Query's
+	// Damping field carries the Katz attenuation α (0 = the conventional
+	// 0.85/maxInDegree default).
+	MeasureKatz = "katz"
 )
 
 // Errors a Query can fail with. Validation problems (bad measure,
@@ -56,6 +63,10 @@ var (
 	ErrClosed          = errors.New("serve: engine closed")
 	ErrUnknownSnapshot = errors.New("serve: snapshot not retained")
 	ErrNoSnapshots     = errors.New("serve: no snapshots pinned yet")
+	// ErrNoGraphSource reports a graph-backed measure (katz) on an
+	// engine with no AttachGraphs source: the deployment cannot answer
+	// it, which callers should surface as a client error.
+	ErrNoGraphSource = errors.New("serve: no graph source attached (katz not served)")
 	// ErrOverloaded is the admission-control fast-fail: the bounded
 	// queue is full and the query was shed without waiting. Callers
 	// should back off and retry (cludeserve maps it to HTTP 429 with a
@@ -187,6 +198,7 @@ type Stats struct {
 	// measured from Query entry to answer, on a log₂-bucketed
 	// histogram (values are bucket upper bounds, ≤ 2× the true
 	// quantile).
+	LatencyCount int64   `json:"latency_count"`
 	LatencyP50us float64 `json:"latency_p50_us"`
 	LatencyP95us float64 `json:"latency_p95_us"`
 	LatencyP99us float64 `json:"latency_p99_us"`
@@ -194,7 +206,8 @@ type Stats struct {
 	// Solve-path breakdown of the cold solves: SparseSolves answered
 	// through the reach-based path, DenseSolves through the full
 	// substitution (PageRank always; others on fallback, when the
-	// sparse path is disabled, or when solved as part of a block).
+	// sparse path is disabled, or when solved as part of a block),
+	// KatzSolves through the graph-backed Katz factorization.
 	// SparseFallbacks counts sparse attempts whose symbolic probe
 	// exceeded the reach cap (each also appears in DenseSolves).
 	// AvgReachFrac is the mean fraction of rows the sparse solves
@@ -202,7 +215,14 @@ type Stats struct {
 	SparseSolves    int64   `json:"sparse_solves"`
 	DenseSolves     int64   `json:"dense_solves"`
 	SparseFallbacks int64   `json:"sparse_fallbacks"`
+	KatzSolves      int64   `json:"katz_solves"`
 	AvgReachFrac    float64 `json:"avg_reach_frac"`
+
+	// QueryStages breaks the pipeline down per stage (resolve,
+	// coalesce, admit, batch, solve — see hist.go for exact stage
+	// semantics), from the same histograms /metrics exposes as
+	// clude_query_stage_seconds.
+	QueryStages map[string]StageLatency `json:"query_stages"`
 
 	// Live-source counters: LiveQueries counts answers served from the
 	// attached live source's hot factors, LiveVersion its latest
@@ -256,7 +276,9 @@ type Engine struct {
 	cacheEvicted                    atomic.Int64
 	admitted, coalesced, shed       atomic.Int64
 	blockSolves, blockedRHS         atomic.Int64
-	lat                             latHist
+	katzSolves                      atomic.Int64
+	lat                             metrics.Histogram
+	stages                          [numStages]metrics.Histogram
 
 	// Sparse-path counters: reachRows/reachDen accumulate the touched-
 	// row and dimension totals of sparse solves, so AvgReachFrac is an
@@ -274,6 +296,10 @@ type Engine struct {
 	live        LiveSource
 	liveGen     uint64
 	liveQueries atomic.Int64
+
+	// Graph source for graph-backed measures (katz); see graphs.go.
+	// Guarded by mu like the live source.
+	graphs GraphSource
 
 	// Disk-spill state (see spill.go). spillMu guards the spilled-index
 	// set, the in-flight write queue, and the pending map; it is only
@@ -436,6 +462,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	retained := len(e.pinned)
 	e.mu.RUnlock()
+	lat := e.lat.Snapshot()
 	st := Stats{
 		Queries:          e.queries.Load(),
 		CacheHits:        e.hits.Load(),
@@ -453,18 +480,30 @@ func (e *Engine) Stats() Stats {
 		Shed:             e.shed.Load(),
 		BlockSolves:      e.blockSolves.Load(),
 		BlockedRHS:       e.blockedRHS.Load(),
-		LatencyP50us:     e.lat.percentileUS(0.50),
-		LatencyP95us:     e.lat.percentileUS(0.95),
-		LatencyP99us:     e.lat.percentileUS(0.99),
+		LatencyCount:     lat.Total,
+		LatencyP50us:     lat.QuantileUS(0.50),
+		LatencyP95us:     lat.QuantileUS(0.95),
+		LatencyP99us:     lat.QuantileUS(0.99),
 		SparseSolves:     e.sparseSolves.Load(),
 		DenseSolves:      e.denseSolves.Load(),
 		SparseFallbacks:  e.sparseFallbacks.Load(),
+		KatzSolves:       e.katzSolves.Load(),
 		SnapshotsSpilled: e.spillWrites.Load(),
 		SpillReloads:     e.spillLoads.Load(),
 		SpillErrors:      e.spillErrors.Load(),
 	}
 	if den := e.reachDen.Load(); den > 0 {
 		st.AvgReachFrac = float64(e.reachRows.Load()) / float64(den)
+	}
+	st.QueryStages = make(map[string]StageLatency, numStages)
+	for i, name := range stageNames {
+		s := e.stages[i].Snapshot()
+		st.QueryStages[name] = StageLatency{
+			Count: s.Total,
+			P50us: s.QuantileUS(0.50),
+			P95us: s.QuantileUS(0.95),
+			P99us: s.QuantileUS(0.99),
+		}
 	}
 	if src, _ := e.liveSource(); src != nil {
 		st.LiveAttached = true
@@ -491,7 +530,7 @@ func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
 		e.rejected.Add(1)
 		return nil, err
 	}
-	e.lat.observe(time.Since(start))
+	e.lat.Observe(time.Since(start))
 	return resp, nil
 }
 
@@ -509,7 +548,9 @@ func (e *Engine) dispatch(ctx context.Context, q Query) (*Response, error) {
 		return nil, err
 	}
 
+	r0 := time.Now()
 	t, err := e.resolve(q)
+	e.stages[stageResolve].Observe(time.Since(r0))
 	if err != nil {
 		e.admitted.Add(1)
 		return nil, err
@@ -553,6 +594,7 @@ func (e *Engine) dispatch(ctx context.Context, q Query) (*Response, error) {
 	// Admission: a full queue sheds immediately — the caller gets
 	// ErrOverloaded now rather than a slow answer later, and any
 	// followers that already joined the flight inherit the error.
+	t.enqueuedAt = time.Now()
 	select {
 	case e.queue <- t:
 		e.admitted.Add(1)
@@ -569,6 +611,10 @@ func (e *Engine) dispatch(ctx context.Context, q Query) (*Response, error) {
 // the worker completes it for whoever remains, and the cache fill
 // happens regardless — cancellation cannot poison the shared result.
 func (e *Engine) await(ctx context.Context, t *task) (*Response, error) {
+	if t.coalesced {
+		w0 := time.Now()
+		defer func() { e.stages[stageCoalesce].Observe(time.Since(w0)) }()
+	}
 	fl := t.fl
 	select {
 	case <-fl.done:
@@ -600,6 +646,12 @@ func (e *Engine) await(ctx context.Context, t *task) (*Response, error) {
 // published version (live), so two queries coalesce only when they are
 // provably answerable by the same factors.
 func (e *Engine) resolve(q Query) (*task, error) {
+	if q.Measure == MeasureKatz {
+		// Graph-backed route: answered from the snapshot's graph, not
+		// the pinned factors, so the damping-compatibility rule below
+		// does not apply (Damping carries the Katz α instead).
+		return e.resolveKatz(q)
+	}
 	damping := q.Damping
 	if damping == 0 {
 		damping = e.cfg.Damping

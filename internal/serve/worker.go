@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/lu"
 	"repro/internal/measures"
@@ -39,6 +40,7 @@ func (e *Engine) worker() {
 	for {
 		select {
 		case t := <-e.queue:
+			e.dequeued(t)
 			batch := e.gather(t)
 			for len(batch) > 0 {
 				group, rest := splitGroup(batch)
@@ -51,6 +53,13 @@ func (e *Engine) worker() {
 	}
 }
 
+// dequeued stamps a task's exit from the admission queue and records
+// the admit-stage wait.
+func (e *Engine) dequeued(t *task) {
+	t.dequeuedAt = time.Now()
+	e.stages[stageAdmit].Observe(t.dequeuedAt.Sub(t.enqueuedAt))
+}
+
 // gather drains up to batchMax−1 more queued tasks without blocking:
 // whatever has piled up behind first is this worker's batch. Under
 // light load the queue is empty and every query solves alone at
@@ -61,6 +70,7 @@ func (e *Engine) gather(first *task) []*task {
 	for len(batch) < e.batchMax {
 		select {
 		case t := <-e.queue:
+			e.dequeued(t)
 			batch = append(batch, t)
 		default:
 			return batch
@@ -91,6 +101,12 @@ func splitGroup(batch []*task) (group, rest []*task) {
 // attach generation (the version is re-read for the whole group at
 // solve time, so resolve-time versions need not match).
 func sameRoute(a, b *task) bool {
+	if a.q.Measure == MeasureKatz || b.q.Measure == MeasureKatz {
+		// Graph-backed tasks never join blocked solves (there is no
+		// shared factor traversal to amortize); identical katz queries
+		// already coalesce on the flight key.
+		return false
+	}
 	if a.live != b.live {
 		return false
 	}
@@ -100,13 +116,20 @@ func sameRoute(a, b *task) bool {
 	return a.solver == b.solver && a.prefix == b.prefix && a.snap == b.snap
 }
 
-// serveGroup answers one route group.
+// serveGroup answers one route group, recording the batch stage (time
+// from dequeue to the group's solve starting) for every member and one
+// solve-stage observation for the group's dispatch.
 func (e *Engine) serveGroup(group []*task, w *workerScratch) {
+	s0 := time.Now()
+	for _, t := range group {
+		e.stages[stageBatch].Observe(s0.Sub(t.dequeuedAt))
+	}
 	if group[0].live {
 		e.serveLiveGroup(group, w)
-		return
+	} else {
+		e.solveGroup(group, group[0].solver, w)
 	}
-	e.solveGroup(group, group[0].solver, w)
+	e.stages[stageSolve].Observe(time.Since(s0))
 }
 
 // serveLiveGroup solves a live group inside one view of the source.
@@ -207,6 +230,10 @@ func (e *Engine) trySparse(enabled bool, solve func() (measures.SparseScores, bo
 // bit-identical answers (the stress test holds every response against
 // an independent cold dense solve).
 func (e *Engine) serveSingle(t *task, solver *lu.Solver, w *workerScratch) {
+	if t.q.Measure == MeasureKatz {
+		e.serveKatz(t)
+		return
+	}
 	me := measures.NewSolverEngine(t.damping, solver)
 	frac := e.cfg.SparseReachFrac
 	useSparse := frac >= 0

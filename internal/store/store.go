@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -40,6 +41,13 @@ type Options struct {
 	KeepSnapshots int
 	// SegmentBytes is the WAL rotation threshold. <= 0 means 4 MiB.
 	SegmentBytes int64
+	// OnStage, when non-nil, receives the duration of each durability
+	// stage: "wal_append" per logged batch (durable write + fsync per
+	// the sync policy) and "snapshot" per checkpoint written. Must be
+	// fast and non-blocking — wal_append fires inside the stream's
+	// commit path. The hook keeps this package import-clean of any
+	// metrics implementation.
+	OnStage func(stage string, d time.Duration)
 }
 
 // RecoveryInfo describes what OpenStream found and did.
@@ -135,7 +143,13 @@ func (st *Store) Dir() string { return st.dir }
 // batch to the WAL, durable per the sync policy, before the stream
 // mutates any state.
 func (st *Store) LogBatch(seq uint64, events []graph.EdgeEvent) error {
-	return st.wal.Append(seq, events)
+	if st.opt.OnStage == nil {
+		return st.wal.Append(seq, events)
+	}
+	t0 := time.Now()
+	err := st.wal.Append(seq, events)
+	st.opt.OnStage("wal_append", time.Since(t0))
+	return err
 }
 
 // OpenStream boots the stream against the directory: when a usable
@@ -290,6 +304,10 @@ func (st *Store) Snapshot() error {
 	st.mu.Unlock()
 	if stream == nil {
 		return errors.New("store: no stream bound")
+	}
+	if st.opt.OnStage != nil {
+		t0 := time.Now()
+		defer func() { st.opt.OnStage("snapshot", time.Since(t0)) }()
 	}
 	state, err := stream.ExportState()
 	if err != nil {

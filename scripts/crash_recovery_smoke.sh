@@ -3,9 +3,11 @@
 # streaming server with a data directory, ingest edge deltas, record a
 # query answer, SIGKILL the process mid-stream, restart it, and assert
 # that (a) /stats reports the exact pre-kill version and (b) the same
-# query returns the identical scores. This is the end-to-end, real-
-# binary companion to internal/store's kill-point property tests; CI
-# runs it per PR.
+# query returns the identical scores, and (c) the /v1/metrics
+# exposition on the recovered server parses and reports the recovery
+# (clude_store_recovered == 1, clude_stream_version == pre-kill
+# version). This is the end-to-end, real-binary companion to
+# internal/store's kill-point property tests; CI runs it per PR.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -91,6 +93,46 @@ if [ "$POST_TOP" != "$PRE_TOP" ]; then
   log "FAIL: recovered topk differs from pre-kill answer"; FAIL=1
 fi
 
+# The recovered server's metrics exposition must parse (every line a
+# comment or `series value`) and report the warm restart.
+METRICS="$WORK/metrics.txt"
+curl -fsS "$BASE/v1/metrics" >"$METRICS"
+if ! python3 - "$METRICS" <<'EOF'
+import sys
+
+series = {}
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            sys.exit(f"line {n}: unparseable: {line!r}")
+        if name in series:
+            sys.exit(f"line {n}: duplicate series {name!r}")
+        series[name] = float(value)
+
+if series.get("clude_store_recovered") != 1:
+    sys.exit(f"clude_store_recovered = {series.get('clude_store_recovered')}, want 1")
+for required in ("clude_stream_version", "clude_wal_records_total",
+                 "clude_store_replayed_batches", "clude_queries_total"):
+    if required not in series:
+        sys.exit(f"missing series {required}")
+EOF
+then
+  log "FAIL: /v1/metrics on the recovered server is malformed or missing recovery series"; FAIL=1
+fi
+METRICS_VERSION=$(python3 -c "
+import sys
+for line in open(sys.argv[1]):
+    if line.startswith('clude_stream_version '):
+        print(int(float(line.split()[1]))); break
+" "$METRICS")
+if [ "$METRICS_VERSION" != "$PRE_VERSION" ]; then
+  log "FAIL: clude_stream_version $METRICS_VERSION != pre-kill $PRE_VERSION"; FAIL=1
+fi
+
 # A recovered server must keep ingesting: the WAL continues after the
 # replayed tail.
 curl -fsS -X POST "$BASE/update?sync=1" \
@@ -108,4 +150,4 @@ if [ "$FAIL" -ne 0 ]; then
   cat "$WORK/server.log" "$WORK/server2.log" >&2 || true
   exit 1
 fi
-log "OK: recovered to version $PRE_VERSION with bit-identical answers"
+log "OK: recovered to version $PRE_VERSION with bit-identical answers and a clean metrics exposition"
