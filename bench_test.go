@@ -105,6 +105,12 @@ func BenchmarkPersistenceRestart(b *testing.B) { benchExperiment(b, "persistence
 // internal/bench.LoadTest).
 func BenchmarkLoadTestServing(b *testing.B) { benchExperiment(b, "loadtest") }
 
+// BenchmarkSupernodalSubstitution runs the supernodal panel experiment:
+// panel-packed vs scalar blocked substitution across community
+// structure, RHS counts, and relaxation widths, with the bit-identity
+// checksum table (see internal/bench.Supernodal).
+func BenchmarkSupernodalSubstitution(b *testing.B) { benchExperiment(b, "supernodal") }
+
 // BenchmarkParallelWorkers runs each LUDEM algorithm end-to-end across
 // engine pool sizes (compare sub-benchmark ns/op to see the scaling;
 // on a multi-core box CLUDE/workers=4 should be well under workers=1).

@@ -92,6 +92,7 @@ func main() {
 		queueLen  = flag.Int("queue", 0, "admission queue depth; a full queue sheds with HTTP 429 (0 = 8x workers)")
 		batchMax  = flag.Int("solve-batch", 0, "max queued queries grouped into one blocked multi-RHS solve (0 = default, 1 = disable batching)")
 		queryTO   = flag.Duration("query-timeout", 0, "per-query deadline covering queue wait and solve (0 = none)")
+		panelMinW = flag.Int("panel-min-width", 0, "min mean panel width for the supernodal blocked-solve route (0 = auto heuristic, <0 = disable panels)")
 
 		streaming  = flag.Bool("stream", false, "streaming mode: live edge-delta ingestion via POST /v1/update")
 		algName    = flag.String("alg", "CLUDE", "streaming maintenance strategy: BF | INC | CINC | CLUDE")
@@ -127,6 +128,7 @@ func main() {
 		SparseReachFrac: *reachFrac,
 		QueueDepth:      *queueLen,
 		BatchMax:        *batchMax,
+		PanelMinWidth:   *panelMinW,
 		QueryTimeout:    *queryTO,
 	}
 	if *dataDir != "" {

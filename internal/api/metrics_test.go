@@ -158,6 +158,12 @@ func TestMetricsInvariantUnderLoad(t *testing.T) {
 	if inf := m[`clude_query_latency_seconds_bucket{le="+Inf"}`]; inf != m["clude_query_latency_seconds_count"] {
 		t.Fatalf("+Inf bucket %v != count %v", inf, m["clude_query_latency_seconds_count"])
 	}
+	// Blocked-dispatch routing is exhaustive and scrape-checkable:
+	// every block went to exactly one of the panel or scalar path.
+	if m["clude_panel_solves_total"]+m["clude_scalar_block_solves_total"] != m["clude_block_solves_total"] {
+		t.Fatalf("block routing invariant broken in exposition: %v + %v != %v",
+			m["clude_panel_solves_total"], m["clude_scalar_block_solves_total"], m["clude_block_solves_total"])
+	}
 
 	// /v1/stats and /v1/metrics views of the same counters agree.
 	code, statsBody := getJSON(t, srv.URL+"/v1/stats")
@@ -166,13 +172,18 @@ func TestMetricsInvariantUnderLoad(t *testing.T) {
 	}
 	stats := statsBody["stats"].(map[string]interface{})
 	for metric, field := range map[string]string{
-		"clude_queries_total":           "queries",
-		"clude_queries_admitted_total":  "admitted",
-		"clude_queries_coalesced_total": "coalesced",
-		"clude_queries_shed_total":      "shed",
-		"clude_cache_hits_total":        "cache_hits",
-		"clude_solves_total":            "cold_solves",
-		"clude_katz_solves_total":       "katz_solves",
+		"clude_queries_total":             "queries",
+		"clude_queries_admitted_total":    "admitted",
+		"clude_queries_coalesced_total":   "coalesced",
+		"clude_queries_shed_total":        "shed",
+		"clude_cache_hits_total":          "cache_hits",
+		"clude_solves_total":              "cold_solves",
+		"clude_katz_solves_total":         "katz_solves",
+		"clude_block_solves_total":        "block_solves",
+		"clude_panel_solves_total":        "panel_solves",
+		"clude_scalar_block_solves_total": "scalar_block_solves",
+		"clude_single_groups_total":       "single_groups",
+		"clude_panel_packs_total":         "panel_packs",
 	} {
 		if m[metric] != stats[field].(float64) {
 			t.Errorf("%s = %v disagrees with stats.%s = %v", metric, m[metric], field, stats[field])

@@ -36,7 +36,7 @@ func TestDatasetsForScales(t *testing.T) {
 }
 
 func TestRegistryCoversPaperItems(t *testing.T) {
-	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tblSolve", "tblBennett", "ablation", "parallel", "serving", "sparsesolve", "streaming", "persistence", "loadtest"}
+	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tblSolve", "tblBennett", "ablation", "parallel", "serving", "sparsesolve", "streaming", "persistence", "loadtest", "supernodal"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))

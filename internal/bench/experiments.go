@@ -43,6 +43,7 @@ func Registry() []Experiment {
 		{"streaming", "Streaming engine: update throughput vs live query latency vs batch size; publish-path allocations", Streaming},
 		{"persistence", "Durability: warm restart vs cold refactorization; WAL fsync ingest cost (beyond the paper)", Persistence},
 		{"loadtest", "Serving pipeline under load: coalesce/batch/shed vs the unbatched single-solve path (beyond the paper)", LoadTest},
+		{"supernodal", "Query path: supernodal panel-packed vs scalar blocked substitution on community factors (beyond the paper)", Supernodal},
 	}
 }
 

@@ -30,6 +30,10 @@ import (
 //     before its first solve lands in the cache. Single-flight
 //     collapses each burst to one solve, so goodput per core must
 //     clear ≥ 2x the baseline at an equal-or-better answered p99.
+//     A fourth config (+panels, PanelMinWidth 1) routes the blocked
+//     groups through the supernodal panel path; its "panel blocks"
+//     column shows the routing firing under load (the substitution
+//     win itself is isolated by the supernodal experiment).
 //  2. A *distinct* overload — no duplicates, all against the hottest
 //     snapshot, ~2x capacity — where coalescing has nothing to do
 //     and the gain is the blocked multi-RHS solve alone
@@ -83,16 +87,17 @@ func LoadTest(d Datasets) ([]*Table, error) {
 		name string
 		cfg  serve.Config
 	}{
-		{"pr2-unbatched", serve.Config{NoSingleFlight: true, BatchMax: 1, SparseReachFrac: -1}},
-		{"+coalesce", serve.Config{BatchMax: 1, SparseReachFrac: -1}},
-		{"+coalesce+block", serve.Config{BatchMax: 16, SparseReachFrac: -1}},
+		{"pr2-unbatched", serve.Config{NoSingleFlight: true, BatchMax: 1, SparseReachFrac: -1, PanelMinWidth: -1}},
+		{"+coalesce", serve.Config{BatchMax: 1, SparseReachFrac: -1, PanelMinWidth: -1}},
+		{"+coalesce+block", serve.Config{BatchMax: 16, SparseReachFrac: -1, PanelMinWidth: -1}},
+		{"+coalesce+block+panels", serve.Config{BatchMax: 16, SparseReachFrac: -1, PanelMinWidth: 1}},
 	}
 
 	burst := 8
 	stampede := &Table{
 		Title: fmt.Sprintf("Stampede: bursts of %d duplicate queries offered at 4x capacity (~%s qps, Wiki n=%d T=%d, workers=%d)",
 			burst, f(capacity), ems.N(), ems.Len(), workers),
-		Header: []string{"config", "offered qps", "goodput/core", "shed frac", "ans p50", "ans p99", "coalesced", "blocks", "cold solves", "goodput/core speedup"},
+		Header: []string{"config", "offered qps", "goodput/core", "shed frac", "ans p50", "ans p99", "coalesced", "blocks", "panel blocks", "cold solves", "goodput/core speedup"},
 	}
 	var baseGPC float64
 	for _, c := range configs {
@@ -292,6 +297,7 @@ func (r *openResult) cells(name string, workers int) []string {
 		durUS(pctl(r.ansLat, 0.99)),
 		fmt.Sprint(r.st.Coalesced),
 		fmt.Sprint(r.st.BlockSolves),
+		fmt.Sprint(r.st.PanelSolves),
 		fmt.Sprint(r.st.ColdSolves),
 	}
 }
@@ -319,6 +325,8 @@ func (lt *loadTester) openLoadReps(cfg serve.Config, rate float64, burst, snap, 
 		sum.st.Coalesced += r.st.Coalesced
 		sum.st.BlockSolves += r.st.BlockSolves
 		sum.st.BlockedRHS += r.st.BlockedRHS
+		sum.st.PanelSolves += r.st.PanelSolves
+		sum.st.PanelRHS += r.st.PanelRHS
 		sum.st.ColdSolves += r.st.ColdSolves
 	}
 	sort.Slice(sum.ansLat, func(i, j int) bool { return sum.ansLat[i] < sum.ansLat[j] })

@@ -19,15 +19,24 @@ package lu
 // kept on shrink, like SolveWorkspace).
 type BlockWorkspace struct {
 	cols [][]float64
+	pbuf []float64    // panel gather scratch (PanelSet.SolveBlockInPlace)
+	lbuf []float64    // per-lane multiplier scratch for the panel kernels
+	ibuf []int        // active-lane index scratch for the panel kernels
+	obuf []int        // union-offset scratch for the backward panel sweep
+	hbuf [][]float64  // lane-ordered RHS headers (panel interleave)
+	one  [1][]float64 // single-RHS header for SolvePanels
 }
 
 // vectors returns k scratch vectors of dimension n, reusing capacity.
 // Every position is overwritten by the permutation before being read,
-// so stale values are harmless.
+// so stale values are harmless. The grow path copies up to capacity,
+// not length, so vectors parked beyond a shrunken length survive the
+// next growth instead of being reallocated (a serving worker's batch
+// width jitters query to query; see the Workspace.vector contract).
 func (ws *BlockWorkspace) vectors(k, n int) [][]float64 {
 	if cap(ws.cols) < k {
 		next := make([][]float64, k)
-		copy(next, ws.cols)
+		copy(next, ws.cols[:cap(ws.cols)])
 		ws.cols = next
 	}
 	ws.cols = ws.cols[:k]
@@ -38,6 +47,55 @@ func (ws *BlockWorkspace) vectors(k, n int) [][]float64 {
 		ws.cols[r] = ws.cols[r][:n]
 	}
 	return ws.cols
+}
+
+// scratch returns a float64 scratch slice of the given size, reusing
+// capacity across calls. Callers overwrite before reading.
+func (ws *BlockWorkspace) scratch(size int) []float64 {
+	if cap(ws.pbuf) < size {
+		ws.pbuf = make([]float64, size)
+	}
+	ws.pbuf = ws.pbuf[:size]
+	return ws.pbuf
+}
+
+// lanes returns a k-length multiplier scratch for the panel kernels,
+// reusing capacity. Callers overwrite before reading.
+func (ws *BlockWorkspace) lanes(k int) []float64 {
+	if cap(ws.lbuf) < k {
+		ws.lbuf = make([]float64, k)
+	}
+	ws.lbuf = ws.lbuf[:k]
+	return ws.lbuf
+}
+
+// list returns a zero-length int slice of capacity k (the active-lane
+// list of the panel kernels), reusing capacity across calls.
+func (ws *BlockWorkspace) list(k int) []int {
+	if cap(ws.ibuf) < k {
+		ws.ibuf = make([]int, k)
+	}
+	return ws.ibuf[:0]
+}
+
+// headers returns a k-length slice-header scratch (the lane-ordered
+// view of the right-hand sides in the panel interleave), reusing
+// capacity across calls. Callers overwrite before reading.
+func (ws *BlockWorkspace) headers(k int) [][]float64 {
+	if cap(ws.hbuf) < k {
+		ws.hbuf = make([][]float64, k)
+	}
+	return ws.hbuf[:k]
+}
+
+// offsets returns an int scratch slice of the given size (the
+// pre-scaled union column offsets of one panel's backward rows),
+// reusing capacity across calls. Callers overwrite before reading.
+func (ws *BlockWorkspace) offsets(size int) []int {
+	if cap(ws.obuf) < size {
+		ws.obuf = make([]int, size)
+	}
+	return ws.obuf[:size]
 }
 
 // SolveBlock solves A·x_r = bs[r] for all right-hand sides through one

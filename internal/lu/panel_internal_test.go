@@ -1,0 +1,125 @@
+package lu
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// checkPartitionInvariants asserts the cover/contiguity contract of a
+// panel partition: bounds start at 0, end at n, strictly increase, and
+// respect the width cap; at relax 0 every in-panel column pair has
+// identical below-panel L and U structure (no fill at all).
+func checkPartitionInvariants(t *testing.T, f *StaticFactors, relax, maxWidth int, bounds []int) {
+	t.Helper()
+	capW := maxWidth
+	if capW <= 0 {
+		capW = DefaultPanelMaxWidth
+	}
+	if bounds[0] != 0 || bounds[len(bounds)-1] != f.n {
+		t.Fatalf("bounds %v do not cover [0, %d)", bounds, f.n)
+	}
+	for p := 1; p < len(bounds); p++ {
+		w := bounds[p] - bounds[p-1]
+		if w <= 0 || w > capW {
+			t.Fatalf("panel %d width %d violates (0, %d]", p-1, w, capW)
+		}
+		if relax != 0 {
+			continue
+		}
+		for c := bounds[p-1] + 1; c < bounds[p]; c++ {
+			if !panelMergeable(f, c, 0) {
+				t.Fatalf("relax=0 panel [%d,%d) contains structurally unequal column %d",
+					bounds[p-1], bounds[p], c)
+			}
+		}
+	}
+}
+
+func fuzzFactors(seed uint64, n int) *StaticFactors {
+	rng := xrand.New(seed)
+	a := randomDominant(rng, n, 3*n)
+	f := NewStaticFactors(Symbolic(a.Pattern()))
+	if err := f.Factorize(a); err != nil {
+		return nil
+	}
+	return f
+}
+
+// FuzzPartitionPanels drives the partitioner (and the packed solve it
+// feeds) over random diagonally dominant factors with fuzzed
+// relaxation and width caps: the partition must cover the columns in
+// order, and the packed solve must stay bit-identical to the scalar
+// sweep on a random block — the invariant every downstream consumer
+// leans on.
+func FuzzPartitionPanels(f *testing.F) {
+	f.Add(uint64(1), 0, 0, 12)
+	f.Add(uint64(2), 2, 4, 25)
+	f.Add(uint64(3), 4, 1, 40)
+	f.Add(uint64(4), 1, 64, 7)
+	f.Fuzz(func(t *testing.T, seed uint64, relax, maxWidth, nRaw int) {
+		n := 2 + abs(nRaw)%48
+		relax = abs(relax) % 6
+		maxWidth = abs(maxWidth) % 40 // 0 selects the default cap
+		fac := fuzzFactors(seed, n)
+		if fac == nil {
+			t.Skip("singular draw")
+		}
+		bounds := PartitionPanels(fac, relax, maxWidth)
+		checkPartitionInvariants(t, fac, relax, maxWidth, bounds)
+
+		ps := NewPanelSet(fac, relax, maxWidth)
+		rng := xrand.New(seed ^ 0x9e3779b97f4a7c15)
+		k := 1 + int(seed%5)
+		xs := make([][]float64, k)
+		want := make([][]float64, k)
+		for r := range xs {
+			x := make([]float64, n)
+			for i := range x {
+				if rng.Intn(3) == 0 {
+					x[i] = rng.Float64() - 0.5
+				}
+			}
+			xs[r] = x
+			want[r] = append([]float64(nil), x...)
+		}
+		fac.SolveBlockInPlace(want)
+		ps.SolveBlockInPlace(xs, nil)
+		for r := range xs {
+			for i := range xs[r] {
+				if xs[r][i] != want[r][i] {
+					t.Fatalf("seed=%d relax=%d maxWidth=%d: rhs %d differs at %d: %v vs %v",
+						seed, relax, maxWidth, r, i, xs[r][i], want[r][i])
+				}
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestPartitionPanelsDegenerate pins the edge cases the serving layer
+// can feed the partitioner: an empty factorization and a tiny one.
+func TestPartitionPanelsDegenerate(t *testing.T) {
+	empty := &StaticFactors{n: 0, LColPtr: []int{0}, URowPtr: []int{0}}
+	bounds := PartitionPanels(empty, DefaultPanelRelax, 0)
+	checkPartitionInvariants(t, empty, DefaultPanelRelax, 0, bounds)
+	if ps := NewPanelSet(empty, DefaultPanelRelax, 0); ps.NumPanels() != 0 || ps.MeanWidth() != 0 {
+		t.Fatalf("empty set: %d panels, mean width %v", ps.NumPanels(), ps.MeanWidth())
+	}
+
+	tiny := fuzzFactors(7, 2)
+	if tiny == nil {
+		t.Skip("singular draw")
+	}
+	bounds = PartitionPanels(tiny, DefaultPanelRelax, 0)
+	checkPartitionInvariants(t, tiny, DefaultPanelRelax, 0, bounds)
+	if ps := NewPanelSet(tiny, DefaultPanelRelax, 0); ps.NumPanels() == 0 {
+		t.Fatal("no panels for a 2-column factorization")
+	}
+}

@@ -1,0 +1,265 @@
+// Property tests of the supernodal panel solve path: SolvePanels must
+// reproduce SolveWith and SolveBlockPanels must reproduce SolveBlock
+// bit for bit — across every factor state the pipelines produce
+// (BF/INC/CINC/CLUDE, including the DynamicFactors fallback), after
+// randomized Bennett update sequences, for relaxation widths 0–4, and
+// for every block width the serving layer batches (1–32 right-hand
+// sides). Routing through panels must be purely an execution-schedule
+// decision, exactly like blocking and the sparse path before it.
+package lu_test
+
+import (
+	"testing"
+
+	"repro/internal/bennett"
+	"repro/internal/core"
+	"repro/internal/lu"
+	"repro/internal/order"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// panelKs are the RHS counts the panel contract is checked at.
+var panelKs = []int{1, 2, 3, 8, 17, 32}
+
+// checkPanelsMatchScalar solves the block through the panel path and
+// the scalar paths and asserts bit-identity of every element.
+func checkPanelsMatchScalar(t *testing.T, tag string, s *lu.Solver, bs [][]float64, bws *lu.BlockWorkspace) {
+	t.Helper()
+	var sws lu.SolveWorkspace
+	want := make([][]float64, len(bs))
+	for r, b := range bs {
+		want[r] = s.SolveWith(b, &sws)
+	}
+	got := s.SolveBlockPanels(nil, bs, bws)
+	for r := range bs {
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("%s: panels k=%d rhs %d differs at %d: %v vs %v",
+					tag, len(bs), r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+	one := s.SolvePanels(bs[0], bws)
+	for i := range want[0] {
+		if one[i] != want[0][i] {
+			t.Fatalf("%s: SolvePanels differs at %d: %v vs %v", tag, i, one[i], want[0][i])
+		}
+	}
+}
+
+// checkPanelSetMatchesFactors compares a packed set against the source
+// container's scalar block sweep on copies of the same vectors — the
+// factor-level form of the contract, exercised per relaxation.
+func checkPanelSetMatchesFactors(t *testing.T, tag string, f *lu.StaticFactors, ps *lu.PanelSet, xs [][]float64, bws *lu.BlockWorkspace) {
+	t.Helper()
+	want := make([][]float64, len(xs))
+	for r, x := range xs {
+		want[r] = append([]float64(nil), x...)
+	}
+	f.SolveBlockInPlace(want)
+	ps.SolveBlockInPlace(xs, bws)
+	for r := range xs {
+		for i := range want[r] {
+			if xs[r][i] != want[r][i] {
+				t.Fatalf("%s: k=%d rhs %d differs at %d: %v vs %v",
+					tag, len(xs), r, i, xs[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// TestSolvePanelsMatchesSolveWithAcrossAlgorithms pins every factor
+// state the four pipelines emit and replays random blocks through the
+// panel path and the scalar path. INC/CINC retain DynamicFactors
+// solvers, so this also covers the transparent fallback.
+func TestSolvePanelsMatchesSolveWithAcrossAlgorithms(t *testing.T) {
+	ems := testEMS(t)
+	for _, alg := range []core.Algorithm{core.BF, core.INC, core.CINC, core.CLUDE} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			var solvers []*lu.Solver
+			if _, err := core.Run(ems, alg, core.Options{
+				Alpha:         0.95,
+				RetainFactors: true,
+				OnFactors:     func(i int, s *lu.Solver) { solvers = append(solvers, s) },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			rng := xrand.New(59)
+			var bws lu.BlockWorkspace // shared across widths on purpose
+			for _, s := range solvers {
+				for _, k := range panelKs {
+					bs := blockRHS(rng, k, s.F.Dim())
+					checkPanelsMatchScalar(t, string(alg), s, bs, &bws)
+				}
+			}
+		})
+	}
+}
+
+// TestPanelSolveRelaxationWidths packs one static container at every
+// relaxation the knob exposes (plus a narrow max width) and checks the
+// factor-level contract at every block width.
+func TestPanelSolveRelaxationWidths(t *testing.T) {
+	ems := testEMS(t)
+	union := ems.Matrices[0].Pattern()
+	for _, m := range ems.Matrices[1:] {
+		union = union.Union(m.Pattern())
+	}
+	ord := order.Markowitz(union).Ordering
+	static := lu.NewStaticFactors(lu.Symbolic(union.Permute(ord)))
+	if err := static.Factorize(ems.Matrices[0].Permute(ord)); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(67)
+	var bws lu.BlockWorkspace
+	n := ems.N()
+	for relax := 0; relax <= 4; relax++ {
+		for _, maxWidth := range []int{0, 4} {
+			ps := lu.NewPanelSet(static, relax, maxWidth)
+			if got := ps.Bounds(); got[len(got)-1] != n {
+				t.Fatalf("relax=%d: bounds end %d, want %d", relax, got[len(got)-1], n)
+			}
+			for _, k := range panelKs {
+				xs := blockRHS(rng, k, n)
+				checkPanelSetMatchesFactors(t, "relax", static, ps, xs, &bws)
+			}
+		}
+	}
+}
+
+// TestPanelSolveAfterRandomBennettSequences drives the static container
+// through randomized Bennett jumps, repacking after each (panels
+// snapshot values, so an update invalidates the previous set), cycling
+// the relaxation, and checks the contract after every jump. The
+// dynamic container rides along through the solver-level fallback.
+func TestPanelSolveAfterRandomBennettSequences(t *testing.T) {
+	ems := testEMS(t)
+
+	union := ems.Matrices[0].Pattern()
+	for _, m := range ems.Matrices[1:] {
+		union = union.Union(m.Pattern())
+	}
+	ord := order.Markowitz(union).Ordering
+	perm := make([]*sparse.CSR, ems.Len())
+	for i, m := range ems.Matrices {
+		perm[i] = m.Permute(ord)
+	}
+	static := lu.NewStaticFactors(lu.Symbolic(union.Permute(ord)))
+	if err := static.Factorize(perm[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	ord2 := order.Markowitz(ems.Matrices[0].Pattern()).Ordering
+	perm2 := make([]*sparse.CSR, ems.Len())
+	for i, m := range ems.Matrices {
+		perm2[i] = m.Permute(ord2)
+	}
+	seed := lu.NewStaticFactors(lu.Symbolic(perm2[0].Pattern()))
+	if err := seed.Factorize(perm2[0]); err != nil {
+		t.Fatal(err)
+	}
+	dynamic := lu.NewDynamicFactors(seed)
+	dSolver := &lu.Solver{F: dynamic, O: ord2}
+
+	rng := xrand.New(97)
+	var bws lu.BlockWorkspace
+	cur, cur2 := 0, 0
+	for step := 0; step < 12; step++ {
+		next := rng.Intn(ems.Len())
+		if err := bennett.UpdateStatic(static, sparse.Delta(perm[cur], perm[next]), nil); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+		next2 := rng.Intn(ems.Len())
+		if err := bennett.UpdateDynamic(dynamic, sparse.Delta(perm2[cur2], perm2[next2]), nil); err != nil {
+			t.Fatal(err)
+		}
+		cur2 = next2
+
+		k := 1 + rng.Intn(8)
+		ps := lu.NewPanelSet(static, step%5, 0)
+		checkPanelSetMatchesFactors(t, "bennett", static, ps, blockRHS(rng, k, ems.N()), &bws)
+		checkPanelsMatchScalar(t, "dynamic-fallback", dSolver, blockRHS(rng, k, ems.N()), &bws)
+	}
+}
+
+// TestPanelSetStats sanity-checks the packing accounting the serving
+// metrics and the bench report expose.
+func TestPanelSetStats(t *testing.T) {
+	ems := testEMS(t)
+	ord := order.Markowitz(ems.Matrices[0].Pattern()).Ordering
+	s, err := lu.FactorizeOrdered(ems.Matrices[0], ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, built := s.PanelsBuild()
+	if !built || ps == nil {
+		t.Fatalf("PanelsBuild on a static solver: ps=%v built=%v", ps, built)
+	}
+	if _, again := s.PanelsBuild(); again {
+		t.Fatal("second PanelsBuild reported built")
+	}
+	n := ems.N()
+	b := ps.Bounds()
+	if b[0] != 0 || b[len(b)-1] != n || ps.NumPanels() != len(b)-1 {
+		t.Fatalf("bounds %v inconsistent for n=%d, panels=%d", b, n, ps.NumPanels())
+	}
+	hist := ps.WidthHistogram()
+	panels, cols, covered := 0, 0, 0
+	for w, c := range hist {
+		panels += c
+		cols += w * c
+		if w >= 2 {
+			covered += w * c
+		}
+	}
+	if panels != ps.NumPanels() || cols != n || covered != ps.ColsCovered() {
+		t.Fatalf("histogram %v: panels=%d cols=%d covered=%d, want %d/%d/%d",
+			hist, panels, cols, covered, ps.NumPanels(), n, ps.ColsCovered())
+	}
+	if mw := ps.MeanWidth(); mw < 1 || mw > float64(ps.MaxWidth()) {
+		t.Fatalf("mean width %v outside [1, %d]", mw, ps.MaxWidth())
+	}
+	if ff := ps.FillFrac(); ff < 0 || ff >= 1 {
+		t.Fatalf("fill fraction %v outside [0, 1)", ff)
+	}
+}
+
+// TestBlockWorkspaceShrinkGrowReuse is the satellite alloc-regression
+// contract: a workspace warmed at width k must solve at any width <= k
+// — including shrink-then-regrow sequences — without allocating, on
+// both the scalar and the panel path.
+func TestBlockWorkspaceShrinkGrowReuse(t *testing.T) {
+	ems := testEMS(t)
+	ord := order.Markowitz(ems.Matrices[0].Pattern()).Ordering
+	s, err := lu.FactorizeOrdered(ems.Matrices[0], ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ems.N()
+	rng := xrand.New(29)
+	var bws lu.BlockWorkspace
+	dsts := make([][]float64, 16)
+	for r := range dsts {
+		dsts[r] = make([]float64, n)
+	}
+	s.Panels() // pack outside the measured region
+
+	// Warm at 16, shrink to 2, then measure regrowth to 16: the
+	// workspace must serve hidden capacity, not reallocate it.
+	for _, k := range []int{16, 2} {
+		s.SolveBlock(dsts[:k], blockRHS(rng, k, n), &bws)
+		s.SolveBlockPanels(dsts[:k], blockRHS(rng, k, n), &bws)
+	}
+	bs := blockRHS(rng, 16, n)
+	for name, solve := range map[string]func(){
+		"SolveBlock":       func() { s.SolveBlock(dsts, bs, &bws) },
+		"SolveBlockPanels": func() { s.SolveBlockPanels(dsts, bs, &bws) },
+	} {
+		if allocs := testing.AllocsPerRun(20, solve); allocs > 0 {
+			t.Errorf("%s after shrink/grow: %v allocs per block, want 0", name, allocs)
+		}
+	}
+}

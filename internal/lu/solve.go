@@ -79,6 +79,11 @@ type Solver struct {
 	rowInv     sparse.Perm
 	lsucc      func(int) []int
 	usucc      func(int) []int
+
+	// Lazily packed supernodal panels (see PanelsBuild). Only built
+	// for frozen StaticFactors; nil after the once for anything else.
+	panelOnce sync.Once
+	panels    *PanelSet
 }
 
 // Solve returns x with A·x = b, leaving b untouched.

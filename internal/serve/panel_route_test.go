@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/lu"
+)
+
+// Tests of the supernodal panel route through the batched worker path:
+// the routing decision is observable (every gathered group lands in
+// exactly one of SingleGroups / PanelSolves / ScalarBlockSolves),
+// panel-routed blocks are bit-identical to the scalar route and to cold
+// single solves, and the per-worker block scratch reuses capacity as
+// batch widths jitter (the PR 3 shrink-reuse contract, extended to
+// BlockWorkspace and the pooled header).
+
+// blockedQueries is a route-compatible query set against one pinned
+// snapshot, wide enough to form a single block under BatchMax >= len.
+func blockedQueries(snap int) []Query {
+	return []Query{
+		{Snapshot: snap, Measure: MeasureRWR, Source: 3},
+		{Snapshot: snap, Measure: MeasureRWR, Source: 11},
+		{Snapshot: snap, Measure: MeasurePPR, Sources: []int{2, 9}},
+		{Snapshot: snap, Measure: MeasureTopK, Source: 5, K: 7},
+		{Snapshot: snap, Measure: MeasurePageRank},
+		{Snapshot: snap, Measure: MeasurePPR, Sources: []int{0}},
+		{Snapshot: snap, Measure: MeasureRWR, Source: 40},
+		{Snapshot: snap, Measure: MeasureRWR, Source: 77},
+	}
+}
+
+// runBlockedGroup wedges the engine's single worker on a gated live
+// query, piles qs behind it so they gather into one batch, and returns
+// the responses.
+func runBlockedGroup(t *testing.T, eng *Engine, ref map[int]*lu.Solver, qs []Query) []*Response {
+	t.Helper()
+	g := newGatedLive(ref[9].Clone(), 2)
+	eng.AttachLive(g)
+
+	liveDone := make(chan error, 1)
+	go func() {
+		_, err := eng.Query(context.Background(), Query{Snapshot: -1, Measure: MeasureRWR, Source: 1})
+		liveDone <- err
+	}()
+	<-g.entered
+
+	resps := make([]*Response, len(qs))
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	for i, q := range qs {
+		i, q := i, q
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resps[i], errs[i] = eng.Query(context.Background(), q)
+		}()
+	}
+	waitFor(t, func() bool { return eng.Stats().Admitted == int64(1+len(qs)) }, "group admission")
+
+	close(g.release)
+	wg.Wait()
+	if err := <-liveDone; err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+	}
+	return resps
+}
+
+// TestPanelRoutedGroupBitIdentical forces the supernodal route
+// (PanelMinWidth 1 accepts any packed set) and holds every answer of a
+// panel-routed block against an independent cold solve, then reruns the
+// identical scenario with panels disabled and compares the two engines'
+// answers byte for byte: routing is purely an execution-schedule
+// decision.
+func TestPanelRoutedGroupBitIdentical(t *testing.T) {
+	const snap = 4
+	qs := blockedQueries(snap)
+
+	eng, _, ref := pinnedEngine(t, Config{
+		Workers: 1, BatchMax: len(qs), QueueDepth: 2 * len(qs), CacheSize: 512,
+		PanelMinWidth: 1,
+	})
+	defer eng.Close()
+	panel := runBlockedGroup(t, eng, ref, qs)
+
+	st := eng.Stats()
+	if st.BlockSolves != 1 || st.BlockedRHS != int64(len(qs)) {
+		t.Fatalf("BlockSolves=%d BlockedRHS=%d, want one block of %d", st.BlockSolves, st.BlockedRHS, len(qs))
+	}
+	if st.PanelSolves != 1 || st.PanelRHS != int64(len(qs)) || st.ScalarBlockSolves != 0 {
+		t.Fatalf("PanelSolves=%d PanelRHS=%d ScalarBlockSolves=%d, want the block panel-routed",
+			st.PanelSolves, st.PanelRHS, st.ScalarBlockSolves)
+	}
+	if st.PanelPacks != 1 {
+		t.Fatalf("PanelPacks=%d, want exactly one lazy pack for the one solver used", st.PanelPacks)
+	}
+	// The gated live query degenerated to a group of one — the routing
+	// decision the satellite makes observable.
+	if st.SingleGroups < 1 {
+		t.Fatalf("SingleGroups=%d, want the live single counted", st.SingleGroups)
+	}
+	if st.PanelSolves+st.ScalarBlockSolves != st.BlockSolves {
+		t.Fatalf("routing not exhaustive: %d + %d != %d", st.PanelSolves, st.ScalarBlockSolves, st.BlockSolves)
+	}
+
+	for i, q := range qs {
+		wantNodes, wantScores := coldAnswer(q, ref[snap])
+		sameAnswer(t, q.Measure+" panel", panel[i], wantNodes, wantScores)
+	}
+
+	// Scalar twin: identical queries, panels disabled.
+	eng2, _, ref2 := pinnedEngine(t, Config{
+		Workers: 1, BatchMax: len(qs), QueueDepth: 2 * len(qs), CacheSize: 512,
+		PanelMinWidth: -1,
+	})
+	defer eng2.Close()
+	scalar := runBlockedGroup(t, eng2, ref2, qs)
+
+	st2 := eng2.Stats()
+	if st2.PanelSolves != 0 || st2.PanelPacks != 0 || st2.ScalarBlockSolves != 1 {
+		t.Fatalf("disabled panels: PanelSolves=%d PanelPacks=%d ScalarBlockSolves=%d",
+			st2.PanelSolves, st2.PanelPacks, st2.ScalarBlockSolves)
+	}
+	for i, q := range qs {
+		sameAnswer(t, q.Measure+" panel-vs-scalar", panel[i], scalar[i].Nodes, scalar[i].Scores)
+	}
+}
+
+// TestPanelRouteLiveNeverPacks pins the same factors as a live source
+// and asserts live blocks always take the scalar route (a live source's
+// factors mutate in place; a packed value snapshot would go stale).
+func TestPanelRouteLiveNeverPacks(t *testing.T) {
+	eng, _, ref := pinnedEngine(t, Config{
+		Workers: 1, BatchMax: 8, QueueDepth: 32, CacheSize: 512,
+		PanelMinWidth: 1,
+	})
+	defer eng.Close()
+
+	// View call 1 is the first query's resolve; call 2 is the worker's
+	// solve view — the point to wedge so followers pile up in the queue.
+	g := newGatedLive(ref[9].Clone(), 2)
+	eng.AttachLive(g)
+
+	// Wedge the worker on the first live query, then pile compatible
+	// live queries behind it so they gather into one live block.
+	first := make(chan error, 1)
+	go func() {
+		_, err := eng.Query(context.Background(), Query{Snapshot: -1, Measure: MeasureRWR, Source: 1})
+		first <- err
+	}()
+	<-g.entered
+
+	const k = 4
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = eng.Query(context.Background(), Query{Snapshot: -1, Measure: MeasureRWR, Source: 10 + i})
+		}()
+	}
+	waitFor(t, func() bool { return eng.Stats().Admitted == int64(1+k) }, "live group admission")
+	close(g.release)
+	wg.Wait()
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("live query %d: %v", i, err)
+		}
+	}
+
+	st := eng.Stats()
+	if st.BlockSolves < 1 {
+		t.Fatalf("BlockSolves=%d, want the live block to have formed", st.BlockSolves)
+	}
+	if st.PanelSolves != 0 || st.PanelPacks != 0 {
+		t.Fatalf("live block packed panels: PanelSolves=%d PanelPacks=%d", st.PanelSolves, st.PanelPacks)
+	}
+	if st.ScalarBlockSolves != st.BlockSolves {
+		t.Fatalf("ScalarBlockSolves=%d != BlockSolves=%d on a live-only load", st.ScalarBlockSolves, st.BlockSolves)
+	}
+}
+
+// blockGroupTasks builds a route-compatible unkeyed task group of width
+// k directly (no cache fill, no flight table), the harness the alloc
+// regression drives serveBlock with.
+func blockGroupTasks(k int) []*task {
+	ts := make([]*task, k)
+	for i := range ts {
+		ts[i] = &task{
+			q:       Query{Measure: MeasureRWR, Source: i % 64},
+			damping: testDamping,
+			fl:      newFlight(),
+		}
+	}
+	return ts
+}
+
+// TestServeBlockScratchReuseAcrossWidths is the satellite's alloc-count
+// regression on the batched worker path: after a warm-up at the widest
+// batch, serveBlock's only steady-state allocations are the k
+// cache-owned solution vectors — the pooled header, the BlockWorkspace
+// column vectors and the panel gather scratch all survive shrinking and
+// regrowing batch widths (the BlockWorkspace grow path copies up to
+// capacity, not length, mirroring the Workspace.vector fix).
+func TestServeBlockScratchReuseAcrossWidths(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		minWidth int
+	}{
+		{"panels", 1},
+		{"scalar", -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, _, ref := pinnedEngine(t, Config{
+				Workers: 1, BatchMax: 16, QueueDepth: 16, PanelMinWidth: tc.minWidth,
+			})
+			defer eng.Close()
+			solver := ref[0]
+			w := &workerScratch{}
+
+			// Jittering batch widths: shrink then regrow, twice past the
+			// warm-up width to exercise the header/vector grow paths.
+			widths := []int{16, 2, 8, 3, 16, 5, 12, 16, 4, 16}
+			groups := make([][]*task, len(widths))
+			totalRHS := 0
+			for i, k := range widths {
+				groups[i] = blockGroupTasks(k)
+				totalRHS += k
+			}
+			// Warm-up: builds the panel set (panels run) and sizes every
+			// scratch to the maximum width.
+			eng.serveBlock(blockGroupTasks(16), solver, w)
+
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			for i := range groups {
+				eng.serveBlock(groups[i], solver, w)
+			}
+			runtime.ReadMemStats(&m1)
+			got := int64(m1.Mallocs - m0.Mallocs)
+
+			// One owned []float64 per right-hand side, plus slack for
+			// runtime noise — far below one extra per-RHS allocation, so
+			// any workspace churn trips it.
+			limit := int64(totalRHS) + int64(totalRHS)/2
+			if got > limit {
+				t.Fatalf("serveBlock allocated %d times over %d RHS (limit %d): block scratch is churning",
+					got, totalRHS, limit)
+			}
+		})
+	}
+}

@@ -107,6 +107,19 @@ type Config struct {
 	// QueryTimeout, when positive, is a per-request deadline applied
 	// to every Query on top of the caller's context.
 	QueryTimeout time.Duration
+	// PanelMinWidth tunes the supernodal panel route for blocked
+	// multi-RHS solves over pinned (frozen) static factors. The packed
+	// panel set is built lazily on first use and cached on the pinned
+	// solver (lu.Solver.PanelsBuild), so Pin never waits on packing;
+	// live sources never pack (their factors mutate in place, see
+	// lu.PanelSet). 0 (the default) is the auto heuristic: a group of
+	// k >= 2 takes the packed path when the set's mean panel width is
+	// >= 1.5 and meanWidth·k >= 8 (the point where the dense-block
+	// amortization beats the gather overhead); >= 1 requires the mean
+	// panel width to reach the value instead; negative disables the
+	// panel route entirely (every block takes the scalar SolveBlock).
+	// Both routes are bit-identical; this is purely a scheduling knob.
+	PanelMinWidth int
 	// NoSingleFlight disables query coalescing: identical concurrent
 	// queries each solve independently, as the engine behaved before
 	// single-flight landed. The cache still works. This exists for
@@ -191,8 +204,29 @@ type Stats struct {
 	// multi-RHS dispatches (groups of ≥ 2 compatible queries solved in
 	// one factor traversal), BlockedRHS the total right-hand sides
 	// they carried — BlockedRHS/BlockSolves is the mean block width.
-	BlockSolves int64 `json:"block_solves"`
-	BlockedRHS  int64 `json:"blocked_rhs"`
+	// Every blocked dispatch is routed exactly once: PanelSolves took
+	// the supernodal panel-packed substitution (Config.PanelMinWidth),
+	// ScalarBlockSolves the classic column-by-column SolveBlock —
+	// PanelSolves + ScalarBlockSolves == BlockSolves. SingleGroups
+	// counts route groups that degenerated to one query and took the
+	// classic per-query path (sparse-capable), so the panel-vs-scalar
+	// routing decision is observable for every gathered group.
+	BlockSolves       int64 `json:"block_solves"`
+	BlockedRHS        int64 `json:"blocked_rhs"`
+	PanelSolves       int64 `json:"panel_solves"`
+	PanelRHS          int64 `json:"panel_rhs"`
+	ScalarBlockSolves int64 `json:"scalar_block_solves"`
+	SingleGroups      int64 `json:"single_groups"`
+
+	// Panel-packing counters: PanelPacks is the number of packed panel
+	// sets built (one per pinned solver that ever took the panel
+	// route), PanelColsCovered the total columns those sets hold in
+	// panels of width >= 2 (the columns the packed path amortizes),
+	// PanelPackUS the cumulative wall time spent packing — paid once
+	// per pinned solver, off the ingest/publish path.
+	PanelPacks       int64 `json:"panel_packs"`
+	PanelColsCovered int64 `json:"panel_cols_covered"`
+	PanelPackUS      int64 `json:"panel_pack_us"`
 
 	// Latency percentiles (µs) over successfully answered queries,
 	// measured from Query entry to answer, on a log₂-bucketed
@@ -276,6 +310,10 @@ type Engine struct {
 	cacheEvicted                    atomic.Int64
 	admitted, coalesced, shed       atomic.Int64
 	blockSolves, blockedRHS         atomic.Int64
+	panelSolves, panelRHS           atomic.Int64
+	scalarBlocks, singleGroups      atomic.Int64
+	panelPacks, panelCols           atomic.Int64
+	panelPackNS                     atomic.Int64
 	katzSolves                      atomic.Int64
 	lat                             metrics.Histogram
 	stages                          [numStages]metrics.Histogram
@@ -464,33 +502,40 @@ func (e *Engine) Stats() Stats {
 	e.mu.RUnlock()
 	lat := e.lat.Snapshot()
 	st := Stats{
-		Queries:          e.queries.Load(),
-		CacheHits:        e.hits.Load(),
-		CacheMisses:      e.misses.Load(),
-		ColdSolves:       e.solves.Load(),
-		Rejected:         e.rejected.Load(),
-		SnapshotsPinned:  e.pinCount.Load(),
-		SnapshotsEvicted: e.snapEvicted.Load(),
-		CacheEvictions:   e.cacheEvicted.Load(),
-		CacheEntries:     e.cache.len(),
-		Retained:         retained,
-		Workers:          e.cfg.Workers,
-		Admitted:         e.admitted.Load(),
-		Coalesced:        e.coalesced.Load(),
-		Shed:             e.shed.Load(),
-		BlockSolves:      e.blockSolves.Load(),
-		BlockedRHS:       e.blockedRHS.Load(),
-		LatencyCount:     lat.Total,
-		LatencyP50us:     lat.QuantileUS(0.50),
-		LatencyP95us:     lat.QuantileUS(0.95),
-		LatencyP99us:     lat.QuantileUS(0.99),
-		SparseSolves:     e.sparseSolves.Load(),
-		DenseSolves:      e.denseSolves.Load(),
-		SparseFallbacks:  e.sparseFallbacks.Load(),
-		KatzSolves:       e.katzSolves.Load(),
-		SnapshotsSpilled: e.spillWrites.Load(),
-		SpillReloads:     e.spillLoads.Load(),
-		SpillErrors:      e.spillErrors.Load(),
+		Queries:           e.queries.Load(),
+		CacheHits:         e.hits.Load(),
+		CacheMisses:       e.misses.Load(),
+		ColdSolves:        e.solves.Load(),
+		Rejected:          e.rejected.Load(),
+		SnapshotsPinned:   e.pinCount.Load(),
+		SnapshotsEvicted:  e.snapEvicted.Load(),
+		CacheEvictions:    e.cacheEvicted.Load(),
+		CacheEntries:      e.cache.len(),
+		Retained:          retained,
+		Workers:           e.cfg.Workers,
+		Admitted:          e.admitted.Load(),
+		Coalesced:         e.coalesced.Load(),
+		Shed:              e.shed.Load(),
+		BlockSolves:       e.blockSolves.Load(),
+		BlockedRHS:        e.blockedRHS.Load(),
+		PanelSolves:       e.panelSolves.Load(),
+		PanelRHS:          e.panelRHS.Load(),
+		ScalarBlockSolves: e.scalarBlocks.Load(),
+		SingleGroups:      e.singleGroups.Load(),
+		PanelPacks:        e.panelPacks.Load(),
+		PanelColsCovered:  e.panelCols.Load(),
+		PanelPackUS:       e.panelPackNS.Load() / 1e3,
+		LatencyCount:      lat.Total,
+		LatencyP50us:      lat.QuantileUS(0.50),
+		LatencyP95us:      lat.QuantileUS(0.95),
+		LatencyP99us:      lat.QuantileUS(0.99),
+		SparseSolves:      e.sparseSolves.Load(),
+		DenseSolves:       e.denseSolves.Load(),
+		SparseFallbacks:   e.sparseFallbacks.Load(),
+		KatzSolves:        e.katzSolves.Load(),
+		SnapshotsSpilled:  e.spillWrites.Load(),
+		SpillReloads:      e.spillLoads.Load(),
+		SpillErrors:       e.spillErrors.Load(),
 	}
 	if den := e.reachDen.Load(); den > 0 {
 		st.AvgReachFrac = float64(e.reachRows.Load()) / float64(den)

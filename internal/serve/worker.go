@@ -30,6 +30,20 @@ type workerScratch struct {
 	sws lu.SparseSolveWorkspace
 	bws lu.BlockWorkspace
 	buf []float64
+	hdr [][]float64 // pooled block header (see headers)
+}
+
+// headers returns a k-slot right-hand-side header, reusing capacity as
+// the batch width jitters query to query (the lu.BlockWorkspace twin of
+// this pooling lives in vectors/scratch). Only the header is pooled —
+// the vectors it points at are cache-owned and always fresh. Every slot
+// is overwritten by the caller before the block solves.
+func (w *workerScratch) headers(k int) [][]float64 {
+	if cap(w.hdr) < k {
+		w.hdr = make([][]float64, k)
+	}
+	w.hdr = w.hdr[:k]
+	return w.hdr
 }
 
 // worker owns one scratch set and drains the admission queue in
@@ -194,10 +208,47 @@ func (e *Engine) fallbackPinned(t *task, w *workerScratch) {
 // blocked traversal.
 func (e *Engine) solveGroup(group []*task, solver *lu.Solver, w *workerScratch) {
 	if len(group) == 1 {
+		// A group of one takes the classic path — a routing decision
+		// like panel-vs-scalar, so it is counted, not silent.
+		e.singleGroups.Add(1)
 		e.serveSingle(group[0], solver, w)
 		return
 	}
 	e.serveBlock(group, solver, w)
+}
+
+// panelSet resolves the panel-vs-scalar routing decision for a blocked
+// group of k right-hand sides: the packed panel set when the group
+// should take the supernodal route, nil for the scalar SolveBlock. Live
+// groups never pack (the source's factors are Bennett-updated in
+// place, which would invalidate the packed value snapshot); pinned
+// solvers pack lazily on the first group that asks — a one-time cost
+// this accounting attributes to exactly one group — and solvers over
+// DynamicFactors have no panel form. See Config.PanelMinWidth for the
+// width heuristic; both answers are bit-identical either way.
+func (e *Engine) panelSet(t *task, solver *lu.Solver, k int) *lu.PanelSet {
+	minW := e.cfg.PanelMinWidth
+	if minW < 0 || t.live {
+		return nil
+	}
+	ps, built := solver.PanelsBuild()
+	if built && ps != nil {
+		e.panelPacks.Add(1)
+		e.panelCols.Add(int64(ps.ColsCovered()))
+		e.panelPackNS.Add(int64(ps.PackTime()))
+	}
+	if ps == nil {
+		return nil
+	}
+	mw := ps.MeanWidth()
+	if minW == 0 {
+		if mw < 1.5 || mw*float64(k) < 8 {
+			return nil
+		}
+	} else if mw < float64(minW) {
+		return nil
+	}
+	return ps
 }
 
 // recordSparse accounts one reach-based solve in the stats.
@@ -292,7 +343,7 @@ func (e *Engine) serveSingle(t *task, solver *lu.Solver, w *workerScratch) {
 func (e *Engine) serveBlock(group []*task, solver *lu.Solver, w *workerScratch) {
 	n := solver.F.Dim()
 	k := len(group)
-	bs := make([][]float64, k)
+	bs := w.headers(k)
 	for r, t := range group {
 		// Fresh vectors, not workspace: the solutions land in the cache
 		// and must be owned by it.
@@ -313,7 +364,14 @@ func (e *Engine) serveBlock(group []*task, solver *lu.Solver, w *workerScratch) 
 		}
 		bs[r] = b
 	}
-	solver.SolveBlock(bs, bs, &w.bws)
+	if e.panelSet(group[0], solver, k) != nil {
+		solver.SolveBlockPanels(bs, bs, &w.bws)
+		e.panelSolves.Add(1)
+		e.panelRHS.Add(int64(k))
+	} else {
+		solver.SolveBlock(bs, bs, &w.bws)
+		e.scalarBlocks.Add(1)
+	}
 	e.blockSolves.Add(1)
 	e.blockedRHS.Add(int64(k))
 	e.denseSolves.Add(int64(k))
