@@ -6,6 +6,7 @@
 //	cludebench -exp fig7 -scale medium
 //	cludebench -exp all  -scale small
 //	cludebench -exp serving -json results.json
+//	cludebench -compare baseline.json current.json
 //	cludebench -list
 //
 // Every experiment prints one or more aligned text tables carrying the
@@ -27,6 +28,7 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
 		scale    = flag.String("scale", "small", "dataset scale: small | medium | paper")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		compare  = flag.Bool("compare", false, "compare two BENCH_*.json reports (args: baseline.json current.json) and exit")
 		workers  = flag.Int("workers", 1, "engine worker pool per run: 1 = paper-faithful sequential, 0 = GOMAXPROCS")
 		jsonPath = flag.String("json", "", "also write every result to this JSON file (machine-readable; the CI artifact format)")
 	)
@@ -35,6 +37,24 @@ func main() {
 	if *list {
 		for _, e := range bench.Registry() {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare wants exactly two arguments: baseline.json current.json"))
+		}
+		old, err := bench.ReadReport(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := bench.ReadReport(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if bench.Compare(old, cur, os.Stdout) == 0 {
+			fatal(fmt.Errorf("no comparable tables between %s and %s", flag.Arg(0), flag.Arg(1)))
 		}
 		return
 	}

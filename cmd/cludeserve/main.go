@@ -14,12 +14,21 @@
 //     copying the factors (see docs/STREAMING.md). Latest-state queries
 //     answer from the live factors; -checkpoint k additionally pins a
 //     clone every k versions so recent history stays queryable by
-//     snapshot.
+//     snapshot. -history-base k replaces that clone-per-checkpoint
+//     retention with delta-compressed history: only every k-th version
+//     (plus structural rebuilds) is pinned as a full clone, and any
+//     version in between is materialized on demand by replaying its
+//     recorded Bennett rank-1 deltas from the nearest base —
+//     bit-identical factors at a fraction of the resident bytes.
+//     -history-budget bounds the bytes the LRU of materialized
+//     versions may hold; /v1/snapshots marks each answerable version
+//     "resident" or "materializable".
 //
 // Usage:
 //
 //	cludeserve -addr :8080 -scale small -alpha 0.95
 //	cludeserve -stream -alg CLUDE -batch 64 -flush-ms 200 -checkpoint 32
+//	cludeserve -stream -history-base 16 -history-budget 268435456
 //	cludeserve -stream -data-dir /var/lib/clude -fsync always -snapshot-every 32
 //
 // With -data-dir the streaming engine is durable: every ingest batch is
@@ -99,6 +108,8 @@ func main() {
 		batchSize  = flag.Int("batch", 64, "streaming: events per ingest batch")
 		flushMS    = flag.Int("flush-ms", 200, "streaming: max linger before a partial batch commits (0 = size-only)")
 		checkpoint = flag.Int("checkpoint", 0, "streaming: pin a factor clone every k versions (0 = never)")
+		histBase   = flag.Int("history-base", 0, "streaming: delta-compressed history — pin a base clone every k versions and serve the versions between them by Bennett delta replay (0 = disabled; replaces -checkpoint)")
+		histBudget = flag.Int64("history-budget", 0, "streaming: byte budget for LRU-cached materialized history versions (0 = one version)")
 
 		dataDir   = flag.String("data-dir", "", "durability directory: WAL + factor snapshots (streaming), snapshot spill (both modes); empty = memory only")
 		fsyncMode = flag.String("fsync", "always", "WAL fsync policy: always | none")
@@ -131,6 +142,10 @@ func main() {
 		PanelMinWidth:   *panelMinW,
 		QueryTimeout:    *queryTO,
 	}
+	if *streaming {
+		scfg.HistoryBase = *histBase
+		scfg.HistoryBudgetBytes = *histBudget
+	}
 	if *dataDir != "" {
 		// Evicted pinned snapshots spill to disk instead of vanishing,
 		// in both modes.
@@ -149,6 +164,7 @@ func main() {
 			Sync:          policy,
 			SnapshotEvery: *snapEvery,
 			OnStage:       api.StoreStageHook(reg),
+			History:       *histBase > 0,
 		})
 		if err != nil {
 			eng.Close()
@@ -159,7 +175,7 @@ func main() {
 	var stream *core.Stream
 	var batcher *core.Batcher
 	if *streaming {
-		stream, batcher, err = startStream(eng, st, reg, egs, d.Damping, *algName, *alpha, *batchSize, *flushMS, *checkpoint)
+		stream, batcher, err = startStream(eng, st, reg, egs, d.Damping, *algName, *alpha, *batchSize, *flushMS, *checkpoint, *histBase)
 		if err == nil {
 			// katz queries answer from the live builder's graph.
 			eng.AttachGraphs(api.StreamGraphs(stream))
@@ -259,7 +275,7 @@ func factorOffline(eng *serve.Engine, egs *graph.EGS, damping, alpha float64, fa
 // layer's live source, and return the ingest batcher POST /v1/update
 // feeds. A fatal dataset mismatch aside, a recovered boot serves the
 // exact factors the crashed process last published.
-func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs *graph.EGS, damping float64, algName string, alpha float64, batchSize, flushMS, checkpoint int) (*core.Stream, *core.Batcher, error) {
+func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs *graph.EGS, damping float64, algName string, alpha float64, batchSize, flushMS, checkpoint, histBase int) (*core.Stream, *core.Batcher, error) {
 	cfg := core.StreamConfig{
 		Algorithm: core.Algorithm(strings.ToUpper(algName)),
 		Alpha:     alpha,
@@ -267,7 +283,22 @@ func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs 
 		Derive:    graph.RWRMatrix(damping),
 		OnStage:   api.IngestStageHook(reg),
 	}
-	if checkpoint > 0 {
+	switch {
+	case histBase > 0:
+		// Delta-compressed history: bases pin every histBase versions,
+		// everything between is materialized on demand by replaying the
+		// recorded Bennett deltas. Subsumes -checkpoint.
+		if checkpoint > 0 {
+			log.Printf("-history-base set; ignoring -checkpoint (history pins its own bases)")
+		}
+		if st != nil {
+			// Seed BEFORE OpenStream: WAL replay re-fires OnHistory, and
+			// those records must land on top of the persisted window
+			// rather than reset it.
+			eng.SeedHistory(st.LoadHistory())
+		}
+		cfg.OnHistory = eng.HistoryHook()
+	case checkpoint > 0:
 		cfg.OnPublish = eng.CheckpointEvery(uint64(checkpoint))
 	}
 	t0 := time.Now()
@@ -292,8 +323,12 @@ func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs 
 		}
 	}
 	eng.AttachLive(stream)
-	log.Printf("streaming %s over n=%d (boot %v); ingest batches of %d, linger %dms, checkpoint every %d",
-		cfg.Algorithm, stream.N(), time.Since(t0).Round(time.Millisecond), batchSize, flushMS, checkpoint)
+	retention := fmt.Sprintf("checkpoint every %d", checkpoint)
+	if histBase > 0 {
+		retention = fmt.Sprintf("history base every %d", histBase)
+	}
+	log.Printf("streaming %s over n=%d (boot %v); ingest batches of %d, linger %dms, %s",
+		cfg.Algorithm, stream.N(), time.Since(t0).Round(time.Millisecond), batchSize, flushMS, retention)
 	return stream, stream.NewBatcher(batchSize, time.Duration(flushMS)*time.Millisecond), nil
 }
 

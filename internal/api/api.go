@@ -8,7 +8,7 @@
 //
 //	GET|POST /v1/query      proximity-measure queries (docs/API.md)
 //	POST     /v1/update     edge-delta ingestion (streaming mode)
-//	GET      /v1/snapshots  retained snapshot ids
+//	GET      /v1/snapshots  retained snapshot ids (+ history version states)
 //	GET      /v1/stats      JSON counters of every subsystem
 //	GET      /v1/metrics    Prometheus text exposition of the same
 //	GET      /v1/healthz    liveness + mode + versions
@@ -174,6 +174,12 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.opt.Stream != nil {
 		out["live_version"] = s.opt.Stream.Version()
+	}
+	// With delta-compressed history every version in the log window is
+	// answerable; the listing says which are factor-resident right now
+	// and which would be materialized (delta replay) on first query.
+	if hv := s.opt.Engine.HistoryVersions(); hv != nil {
+		out["history"] = hv
 	}
 	writeJSON(w, out)
 }

@@ -357,3 +357,68 @@ func TestHealthzAndErrors(t *testing.T) {
 		t.Fatalf("unknown snapshot: envelope code %q, want not_found", ecode)
 	}
 }
+
+// TestSnapshotsHistoryListing drives a history-enabled streaming server
+// and checks /v1/snapshots reports each answerable version's state
+// ("resident" bases vs "materializable" delta-replay versions) and
+// /v1/stats surfaces the history_* block.
+func TestSnapshotsHistoryListing(t *testing.T) {
+	g := graph.New(8, false, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 4},
+		{From: 4, To: 5}, {From: 5, To: 6}, {From: 6, To: 7}, {From: 7, To: 0},
+	})
+	eng := serve.New(serve.Config{Damping: 0.85, Workers: 1, HistoryBase: 3})
+	defer eng.Close()
+	stream, err := core.NewStream(core.StreamConfig{
+		Algorithm: core.INC,
+		Initial:   g,
+		Derive:    graph.RWRMatrix(0.85),
+		OnHistory: eng.HistoryHook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	eng.AttachLive(stream)
+	srv := httptest.NewServer(New(Options{Engine: eng, Stream: stream}))
+	defer srv.Close()
+
+	for i := 0; i < 7; i++ {
+		if _, err := stream.Apply([]graph.EdgeEvent{{From: i, To: (i + 3) % 8, Op: graph.EdgeInsert}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, body := getJSON(t, srv.URL+"/v1/snapshots")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/snapshots: status %d", code)
+	}
+	hv, ok := body["history"].([]interface{})
+	if !ok || len(hv) == 0 {
+		t.Fatalf("snapshots body missing history listing: %v", body)
+	}
+	states := map[string]int{}
+	for _, item := range hv {
+		m := item.(map[string]interface{})
+		state, _ := m["state"].(string)
+		if state != "resident" && state != "materializable" {
+			t.Fatalf("version %v: unexpected state %q", m["version"], state)
+		}
+		states[state]++
+	}
+	if states["resident"] == 0 || states["materializable"] == 0 {
+		t.Fatalf("listing should mix resident and materializable: %v", states)
+	}
+
+	code, body = getJSON(t, srv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/stats: status %d", code)
+	}
+	stats, _ := body["stats"].(map[string]interface{})
+	if stats["history_base"] != float64(3) {
+		t.Fatalf("stats history_base = %v, want 3", stats["history_base"])
+	}
+	if _, ok := stats["history_versions"]; !ok {
+		t.Fatalf("stats missing history_versions: %v", stats)
+	}
+}

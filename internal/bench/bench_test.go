@@ -36,7 +36,7 @@ func TestDatasetsForScales(t *testing.T) {
 }
 
 func TestRegistryCoversPaperItems(t *testing.T) {
-	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tblSolve", "tblBennett", "ablation", "parallel", "serving", "sparsesolve", "streaming", "persistence", "loadtest", "supernodal"}
+	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tblSolve", "tblBennett", "ablation", "parallel", "serving", "sparsesolve", "streaming", "persistence", "loadtest", "supernodal", "history"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -134,5 +134,38 @@ func TestTablePrintAligned(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "== t ==") || !strings.Contains(out, "xxx") {
 		t.Errorf("bad render:\n%s", out)
+	}
+}
+
+// TestHistoryReductionShape pins the history experiment's acceptance
+// shape at a depth >= 64 run: base+delta retention at spacing 8 must
+// shrink resident bytes by a multiple of clone-per-checkpoint, and the
+// latency table must cover real replay depths.
+func TestHistoryReductionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	d := small(t)
+	d.Wiki.N, d.Wiki.T, d.Wiki.InitialEdges = 300, 70, 900
+	tables, err := History(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tables[0]
+	if len(res.Rows) < 2 {
+		t.Fatalf("resident-bytes table has %d rows, want baseline + spacings", len(res.Rows))
+	}
+	for _, row := range res.Rows[1:] {
+		red, err := strconv.ParseFloat(strings.TrimSuffix(row[len(row)-1], "x"), 64)
+		if err != nil {
+			t.Fatalf("bad reduction cell %q", row[len(row)-1])
+		}
+		if red < 3.0 {
+			t.Errorf("spacing %s: resident-bytes reduction %.1fx below the compression the feature exists for", row[0], red)
+		}
+	}
+	lat := tables[1]
+	if len(lat.Rows) < 4 {
+		t.Errorf("latency table has %d depth rows, want a real replay sweep", len(lat.Rows))
 	}
 }

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report comparison: the per-PR half of the BENCH_*.json story. Two
+// artifacts — a committed baseline and the current run — are matched
+// run by run (experiment + scale), table by table (title), and row by
+// row (first cell), and every numeric cell is printed as old → new
+// with a signed percentage. The output is informational: machines
+// differ, so the CI step prints deltas instead of failing on them, and
+// a human decides whether a +40% materialization latency is a
+// regression or a runner artifact.
+
+// ReadReport loads a BENCH_*.json artifact.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Compare renders the per-table deltas between two reports. It returns
+// the number of matched tables (zero means the artifacts share no
+// comparable content, which callers may want to flag).
+func Compare(old, cur *Report, w io.Writer) int {
+	fmt.Fprintf(w, "baseline: %s (%s)\ncurrent:  %s (%s)\n",
+		old.CreatedAt, old.GoVersion, cur.CreatedAt, cur.GoVersion)
+	matched := 0
+	for _, cr := range cur.Runs {
+		or, ok := findRun(old, cr.Experiment, cr.Scale)
+		if !ok {
+			fmt.Fprintf(w, "\n## %s/%s: not in baseline (new experiment)\n", cr.Experiment, cr.Scale)
+			continue
+		}
+		fmt.Fprintf(w, "\n## %s/%s  elapsed %s  allocs %s\n", cr.Experiment, cr.Scale,
+			deltaCell(fmt.Sprintf("%.1fms", or.ElapsedMS), fmt.Sprintf("%.1fms", cr.ElapsedMS)),
+			deltaCell(fmt.Sprint(or.AllocsPerOp), fmt.Sprint(cr.AllocsPerOp)))
+		for _, ct := range cr.Tables {
+			ot := findTable(or.Tables, ct.Title)
+			if ot == nil {
+				fmt.Fprintf(w, "  + table %q (new)\n", ct.Title)
+				continue
+			}
+			matched++
+			fmt.Fprintf(w, "  == %s ==\n", ct.Title)
+			for _, crow := range ct.Rows {
+				if len(crow) == 0 {
+					continue
+				}
+				orow := findRow(ot.Rows, crow[0])
+				if orow == nil {
+					fmt.Fprintf(w, "    %s: new row\n", crow[0])
+					continue
+				}
+				cells := make([]string, 0, len(crow)-1)
+				for i := 1; i < len(crow) && i < len(orow); i++ {
+					cells = append(cells, deltaCell(orow[i], crow[i]))
+				}
+				fmt.Fprintf(w, "    %-16s %s\n", crow[0], strings.Join(cells, "  "))
+			}
+		}
+	}
+	return matched
+}
+
+func findRun(r *Report, exp, scale string) (RunResult, bool) {
+	for _, run := range r.Runs {
+		if run.Experiment == exp && run.Scale == scale {
+			return run, true
+		}
+	}
+	return RunResult{}, false
+}
+
+func findTable(ts []*Table, title string) *Table {
+	for _, t := range ts {
+		if t.Title == title {
+			return t
+		}
+	}
+	// Titles may embed run-dependent numbers (version counts, base
+	// ids); fall back to the longest shared prefix up to the first
+	// digit so such tables still pair up.
+	want := titleKey(title)
+	for _, t := range ts {
+		if titleKey(t.Title) == want {
+			return t
+		}
+	}
+	return nil
+}
+
+// titleKey strips a title at its first digit, normalizing titles that
+// embed run-dependent counts.
+func titleKey(s string) string {
+	for i, r := range s {
+		if r >= '0' && r <= '9' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func findRow(rows [][]string, key string) []string {
+	for _, r := range rows {
+		if len(r) > 0 && r[0] == key {
+			return r
+		}
+	}
+	return nil
+}
+
+// deltaCell renders old → new, with a signed percentage when both
+// parse as numbers (unit suffixes like ms/x/MB tolerated) and the
+// baseline is nonzero. Equal cells collapse to the value alone.
+func deltaCell(old, cur string) string {
+	if old == cur {
+		return cur
+	}
+	ov, ook := parseCell(old)
+	cv, cok := parseCell(cur)
+	if ook && cok && ov != 0 {
+		return fmt.Sprintf("%s→%s (%+.1f%%)", old, cur, 100*(cv-ov)/ov)
+	}
+	return fmt.Sprintf("%s→%s", old, cur)
+}
+
+// parseCell extracts the leading number from a table cell, tolerating
+// the harness's unit suffixes.
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	end := 0
+	for end < len(s) && (s[end] == '-' || s[end] == '+' || s[end] == '.' || (s[end] >= '0' && s[end] <= '9') || s[end] == 'e') {
+		end++
+	}
+	if end == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s[:end], "e"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareReports builds two synthetic reports and checks the diff
+// output pairs runs/tables/rows correctly and annotates numeric deltas.
+func TestCompareReports(t *testing.T) {
+	old := &Report{CreatedAt: "old", GoVersion: "go1.x", Runs: []RunResult{{
+		Experiment: "history", Scale: "small", ElapsedMS: 100,
+		Tables: []*Table{{
+			Title:  "resident bytes vs base spacing (81 versions, 13 structural)",
+			Header: []string{"spacing", "total MB", "reduction"},
+			Rows: [][]string{
+				{"1 (clone/ckpt)", "40.00", "1.0x"},
+				{"8", "10.00", "4.0x"},
+			},
+		}},
+	}}}
+	cur := &Report{CreatedAt: "new", GoVersion: "go1.x", Runs: []RunResult{{
+		Experiment: "history", Scale: "small", ElapsedMS: 110,
+		Tables: []*Table{{
+			// Different embedded counts: must still pair via titleKey.
+			Title:  "resident bytes vs base spacing (83 versions, 12 structural)",
+			Header: []string{"spacing", "total MB", "reduction"},
+			Rows: [][]string{
+				{"1 (clone/ckpt)", "40.00", "1.0x"},
+				{"8", "8.00", "5.0x"},
+				{"16", "6.00", "6.7x"},
+			},
+		}},
+	}, {
+		Experiment: "brandnew", Scale: "small",
+		Tables: []*Table{{Title: "only in current"}},
+	}}}
+
+	var sb strings.Builder
+	if matched := Compare(old, cur, &sb); matched != 1 {
+		t.Fatalf("matched %d tables, want 1", matched)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"## history/small",
+		"10.00→8.00 (-20.0%)", // numeric delta with percent
+		"4.0x→5.0x (+25.0%)",  // unit suffix tolerated
+		"16: new row",
+		"brandnew/small: not in baseline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q\n%s", want, out)
+		}
+	}
+	// Identical cells collapse to the bare value, no arrow.
+	if strings.Contains(out, "40.00→40.00") {
+		t.Errorf("unchanged cell rendered as a delta\n%s", out)
+	}
+}
+
+// TestParseCell covers the cell-number extraction edge cases.
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"4.1x", 4.1, true},
+		{"0.25ms", 0.25, true},
+		{"-3", -3, true},
+		{"1 (clone/ckpt)", 1, true},
+		{"-", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseCell(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseCell(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

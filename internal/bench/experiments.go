@@ -44,6 +44,7 @@ func Registry() []Experiment {
 		{"persistence", "Durability: warm restart vs cold refactorization; WAL fsync ingest cost (beyond the paper)", Persistence},
 		{"loadtest", "Serving pipeline under load: coalesce/batch/shed vs the unbatched single-solve path (beyond the paper)", LoadTest},
 		{"supernodal", "Query path: supernodal panel-packed vs scalar blocked substitution on community factors (beyond the paper)", Supernodal},
+		{"history", "Serving layer: delta-compressed factor history — resident bytes and materialization latency vs base spacing (beyond the paper)", History},
 	}
 }
 

@@ -255,14 +255,27 @@ func Rank1Dynamic(d *lu.DynamicFactors, sigma float64, y, z []sparse.Entry, st *
 	return rank1Dynamic(d, sigma, sc, st)
 }
 
-// applyDelta splits ∆A into rank-1 terms and applies them
-// sequentially. The split goes along whichever dimension has fewer
-// distinct indices — per-row terms e_r·wᵀ or per-column terms w·e_cᵀ —
-// because the update rank (and hence the total cost) is
-// min(#rows, #cols). Evolving-graph matrices make this matter: an edge
-// change renormalizes one whole matrix column, so deltas concentrate in
-// few columns but spread over many rows.
-func applyDelta(delta []sparse.Entry, sc *scratch, st *Stats, run func(float64, *scratch, *Stats) error) error {
+// Rank1Term is one pre-split rank-1 update of a delta sequence:
+// A ← A + w·e_Keyᵀ when ByCol (W keyed by row), or A ← A + e_Key·wᵀ
+// otherwise (W keyed by column; either way the varying index lives in
+// the entries' Row field). SplitTerms produces them, applyTerms and the
+// history replay path consume them; a term's W slice is immutable once
+// built so terms can be shared between the log and concurrent readers.
+type Rank1Term struct {
+	Key   int
+	ByCol bool
+	W     []sparse.Entry
+}
+
+// SplitTerms splits ∆A into its rank-1 terms. The split goes along
+// whichever dimension has fewer distinct indices — per-row terms
+// e_r·wᵀ or per-column terms w·e_cᵀ — because the update rank (and
+// hence the total cost) is min(#rows, #cols). Evolving-graph matrices
+// make this matter: an edge change renormalizes one whole matrix
+// column, so deltas concentrate in few columns but spread over many
+// rows. Terms come out keyed in ascending order with each W in delta
+// order, exactly the sequence the in-place update path applies.
+func SplitTerms(delta []sparse.Entry) []Rank1Term {
 	if len(delta) == 0 {
 		return nil
 	}
@@ -289,15 +302,33 @@ func applyDelta(delta []sparse.Entry, sc *scratch, st *Stats, run func(float64, 
 		keys = append(keys, k)
 	}
 	sort.Ints(keys)
-	unit := []sparse.Entry{{Row: 0, Val: 1}}
+	terms := make([]Rank1Term, 0, len(keys))
 	for _, k := range keys {
+		terms = append(terms, Rank1Term{Key: k, ByCol: byCol, W: groups[k]})
+	}
+	return terms
+}
+
+// loadTerm loads a pre-split term into the scratch. The one-element
+// unit buffer is caller-owned so replay loops allocate nothing.
+func (sc *scratch) loadTerm(t Rank1Term, unit *[1]sparse.Entry) {
+	unit[0] = sparse.Entry{Row: t.Key, Val: 1}
+	if t.ByCol {
+		sc.load(t.W, unit[:])
+	} else {
+		sc.load(unit[:], t.W)
+	}
+}
+
+// applyDelta splits ∆A into rank-1 terms and applies them
+// sequentially — the live update path. The history replay path runs
+// the identical per-term loop (MaterializeInto), which is what makes
+// replayed factors bit-identical to live ones.
+func applyDelta(delta []sparse.Entry, sc *scratch, st *Stats, run func(float64, *scratch, *Stats) error) error {
+	var unit [1]sparse.Entry
+	for _, t := range SplitTerms(delta) {
 		sc.reset()
-		unit[0].Row = k
-		if byCol {
-			sc.load(groups[k], unit)
-		} else {
-			sc.load(unit, groups[k])
-		}
+		sc.loadTerm(t, &unit)
 		st.Rank1Updates++
 		if err := run(1, sc, st); err != nil {
 			return err

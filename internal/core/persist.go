@@ -167,6 +167,10 @@ func RestoreStream(cfg StreamConfig, st *StreamState) (*Stream, error) {
 		return nil, fmt.Errorf("core: unknown streaming algorithm %q", st.Algorithm)
 	}
 	s.stats.Version = s.version
+	// The restored version's predecessor delta is unknowable in this
+	// process, so its history record is structural: delta chains restart
+	// at the snapshot and WAL-tail replay re-records everything after it.
+	s.stepStructural = true
 	s.mu.Lock()
 	s.publishLocked()
 	s.mu.Unlock()

@@ -76,6 +76,18 @@ type StreamConfig struct {
 	// through View and leave this callback for notifications and
 	// checkpointing. The callback must not call back into the Stream.
 	OnPublish func(version uint64, s *lu.Solver)
+	// OnHistory, when non-nil, receives each published version's history
+	// record: the validated Bennett rank-1 term sequence that turned the
+	// previous version's factors into this one's, or a structural marker
+	// when the step rebuilt or refactorized (ordering/structure/values
+	// changed outside the rank-1 algebra, so no replayable delta exists;
+	// version 0 and every cluster restart are structural). It fires under
+	// the write lock immediately before OnPublish with the same frozen
+	// solver. The record and its term slices are immutable — callers may
+	// retain them without copying. This is the feed of the
+	// delta-compressed history layers (bennett.HistoryLog in serve, the
+	// history file in store).
+	OnHistory func(s *lu.Solver, rec bennett.VersionRecord)
 	// LogBatch, when non-nil, is the write-ahead hook: it is invoked
 	// for every validated batch before any state mutates, with the
 	// batch's sequence number (1-based, monotone across the stream's
@@ -140,6 +152,14 @@ type Stream struct {
 
 	luWS  lu.Workspace
 	benWS bennett.Workspace
+
+	// stepTerms/stepStructural describe how the factors reached the
+	// version about to be published: the split rank-1 terms of a
+	// successful Bennett update, or a structural marker for every
+	// rebuild/refactorization path. publishLocked turns them into the
+	// OnHistory record.
+	stepTerms      []bennett.Rank1Term
+	stepStructural bool
 
 	stats                   StreamStats
 	retiredIns, retiredScan int // counters of retired dynamic containers
@@ -304,6 +324,7 @@ func (s *Stream) step(cur *sparse.CSR) error {
 // numeric decomposition, and a fresh Solver (the old one stays valid
 // for retained clones but is never mutated again).
 func (s *Stream) rebuild(cur *sparse.CSR, pat *sparse.Pattern) error {
+	s.stepStructural, s.stepTerms = true, nil
 	r := order.Markowitz(pat)
 	s.ord = r.Ordering
 	s.colInv = s.ord.Col.Inverse()
@@ -343,7 +364,13 @@ func (s *Stream) update(cur *sparse.CSR) error {
 	} else {
 		err = s.benWS.UpdateStatic(s.static, delta, &s.stats.Bennett)
 	}
-	if err != nil {
+	s.stepStructural, s.stepTerms = false, nil
+	if err == nil {
+		s.stepTerms = bennett.SplitTerms(delta)
+	} else {
+		// Numerical fallback: the published values come from a full
+		// refactorization, not the rank-1 algebra — no replayable delta.
+		s.stepStructural = true
 		s.stats.Refactorizations++
 		if s.dyn == nil {
 			// The USSP still covers curP; refill the same container.
@@ -376,9 +403,17 @@ func (s *Stream) retireDyn() {
 	}
 }
 
-// publishLocked fires OnPublish for the current version. Callers hold
-// the write lock, so the solver is frozen for the callback's duration.
+// publishLocked fires OnHistory and OnPublish for the current version.
+// Callers hold the write lock, so the solver is frozen for the
+// callbacks' duration.
 func (s *Stream) publishLocked() {
+	if s.cfg.OnHistory != nil {
+		s.cfg.OnHistory(s.solver, bennett.VersionRecord{
+			Version:    s.version,
+			Structural: s.stepStructural,
+			Terms:      s.stepTerms,
+		})
+	}
 	if s.cfg.OnPublish != nil {
 		s.cfg.OnPublish(s.version, s.solver)
 	}

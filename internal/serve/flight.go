@@ -43,6 +43,12 @@ type task struct {
 	// tasks leave it nil.
 	graph *graph.Graph
 
+	// hist marks a history-routed task (see history.go). When its
+	// solver is nil the worker materializes the version before solving
+	// (serveHistGroup); a resident version binds its solver at resolve
+	// time and flows like any pinned task.
+	hist bool
+
 	// keyed is false only on the spill-reload race fallback, whose
 	// answers have no stable generation: no cache entry, no coalescing.
 	keyed     bool

@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bennett"
+	"repro/internal/lu"
+	"repro/internal/metrics"
+)
+
+// Delta-compressed version history (Config.HistoryBase): instead of
+// pinning a deep factor clone per retained version, the engine pins a
+// full clone only at *bases* — every HistoryBase-th version plus every
+// structural version — and keeps the Bennett rank-1 term sequence of
+// every version in a bennett.HistoryLog. A query addressing a non-base
+// version materializes its factors on demand: clone the nearest
+// earlier base into a recycled container, replay the recorded terms
+// (bit-identical to the clone the old checkpoint path would have
+// pinned), and answer. Materialized solvers live in a byte-budgeted
+// LRU (Config.HistoryBudgetBytes); concurrent queries for the same
+// version share one replay through a per-version single-flight, on top
+// of the ordinary query coalescing.
+//
+// Memory economy: a depth-D history at base spacing S retains D/S full
+// clones plus D delta records (each a few sparse vectors), instead of
+// D clones — resident bytes shrink by roughly S× while every version
+// stays queryable. Replay depth (at most S−1) is the latency price,
+// paid only on materialization misses; the history benchmark
+// (internal/bench "history") measures both sides of the trade.
+
+// defaultHistoryBudget bounds materialized-solver residency when
+// Config.HistoryBudgetBytes is unset.
+const defaultHistoryBudget = 64 << 20
+
+// histResident is one materialized (non-base) solver held by the LRU.
+type histResident struct {
+	s     *lu.Solver
+	bytes int64
+}
+
+// histFlight is the per-version single-flight for materialization:
+// the first worker to need a version replays it, everyone else waits.
+type histFlight struct {
+	done chan struct{}
+	s    *lu.Solver
+	err  error
+}
+
+// histState is the engine's history machinery. The log has its own
+// lock; mu guards residents/LRU/free/inflight; matMu serializes the
+// one pooled MaterializeWorkspace (replays are coalesced per version,
+// so materialization concurrency is rarely worth a workspace per
+// worker).
+type histState struct {
+	log    *bennett.HistoryLog
+	budget int64
+
+	mu        sync.Mutex
+	residents map[uint64]*histResident
+	lruOrder  []uint64 // least recently used first
+	bytes     int64
+	inflight  map[uint64]*histFlight
+	free      []lu.Factors // recycled containers from evicted residents
+
+	matMu sync.Mutex
+	mw    bennett.MaterializeWorkspace
+
+	requests, materializations, hits atomic.Int64
+	evictions, basePins              atomic.Int64
+	replayDepth                      metrics.Histogram
+}
+
+func newHistState(budget int64) *histState {
+	if budget <= 0 {
+		budget = defaultHistoryBudget
+	}
+	return &histState{
+		log:       bennett.NewHistoryLog(),
+		budget:    budget,
+		residents: make(map[uint64]*histResident),
+		inflight:  make(map[uint64]*histFlight),
+	}
+}
+
+// historyEnabled reports whether base+delta retention is configured.
+func (e *Engine) historyEnabled() bool { return e.cfg.HistoryBase > 0 }
+
+// histPrefix is the cache-key namespace of a materialized history
+// version. No generation stamp is needed: a version's materialized
+// factors are immutable content (bit-identical on every replay), so a
+// cached answer can never go stale.
+func histPrefix(v uint64) string {
+	return "hist#" + strconv.FormatUint(v, 10)
+}
+
+// HistoryHook returns the core.StreamConfig.OnHistory callback that
+// feeds the engine's history: every record enters the log, and bases —
+// every HistoryBase-th version plus every structural version (those
+// start a new delta chain; there is nothing to replay across them) —
+// are pinned as full clones into the ordinary snapshot store, which
+// also makes them subject to its eviction/spill policy. This replaces
+// CheckpointEvery when history is enabled.
+func (e *Engine) HistoryHook() func(s *lu.Solver, rec bennett.VersionRecord) {
+	base := uint64(e.cfg.HistoryBase)
+	if base == 0 {
+		base = 1
+	}
+	return func(s *lu.Solver, rec bennett.VersionRecord) {
+		e.hist.log.Record(rec)
+		if rec.Structural || rec.Version%base == 0 {
+			e.hist.basePins.Add(1)
+			e.Pin(int(rec.Version), s.Clone())
+		}
+	}
+}
+
+// SeedHistory replays persisted history records into the log — the
+// restart path: cludeserve loads the store's history file so versions
+// before the recovered snapshot stay materializable (their bases are
+// rescanned from the spill directory).
+func (e *Engine) SeedHistory(recs []bennett.VersionRecord) {
+	for _, rec := range recs {
+		e.hist.log.Record(rec)
+	}
+}
+
+// HistoryLog exposes the engine's log (the store layer reads it for
+// stats; tests use it to inspect the window).
+func (e *Engine) HistoryLog() *bennett.HistoryLog { return e.hist.log }
+
+// retainedDim returns the dimension of any retained solver (all
+// versions of one stream share it), for validating history-routed
+// queries before their factors exist.
+func (e *Engine) retainedDim() (int, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if entry, ok := e.snaps[e.latest]; ok {
+		return entry.s.F.Dim(), true
+	}
+	for _, entry := range e.snaps {
+		return entry.s.F.Dim(), true
+	}
+	return 0, false
+}
+
+// isRetainedBase reports whether version v's full factors are
+// recoverable without replay: pinned in RAM, or spilled (pending or on
+// disk) for transparent reload.
+func (e *Engine) isRetainedBase(v uint64) bool {
+	idx := int(v)
+	e.mu.RLock()
+	_, ok := e.snaps[idx]
+	e.mu.RUnlock()
+	if ok {
+		return true
+	}
+	if !e.spillEnabled() {
+		return false
+	}
+	e.spillMu.Lock()
+	defer e.spillMu.Unlock()
+	return e.spilled[idx] || e.spillPending[idx] != nil
+}
+
+// findHistoryBase walks the delta chain of version v back to the
+// nearest retained base: the largest base b <= v whose records
+// (b, v] are all present and non-structural. Reports false when no
+// such base exists (log trimmed, chain crosses a rebuild with its
+// base gone, or history empty).
+func (e *Engine) findHistoryBase(v uint64) (uint64, bool) {
+	lo, hi, ok := e.hist.log.Bounds()
+	if !ok || v < lo || v > hi {
+		return 0, false
+	}
+	for b := v; ; b-- {
+		if b != v && e.isRetainedBase(b) {
+			return b, true
+		}
+		rec, ok := e.hist.log.Get(b)
+		if !ok || rec.Structural || b == lo {
+			// Version b has no replayable delta from b−1 (or the log
+			// ends here): only b itself could have served as the base,
+			// and it is not retained.
+			return 0, false
+		}
+	}
+}
+
+// resolveHistory tries to bind a snaps-miss query to the history
+// route. Returns routed=false to let resolve fall through to the
+// spill/unknown path. A resident version binds directly to its
+// materialized solver; a materializable one leaves t.solver nil for
+// the worker to fill (serveHistGroup), so replay CPU is spent inside
+// the admitted worker pool, not on the caller's dispatch goroutine.
+func (e *Engine) resolveHistory(t *task, snap int) (routed bool, err error) {
+	if !e.historyEnabled() || snap < 0 {
+		return false, nil
+	}
+	h := e.hist
+	v := uint64(snap)
+	h.mu.Lock()
+	if r, ok := h.residents[v]; ok {
+		h.touchLocked(v)
+		h.mu.Unlock()
+		h.requests.Add(1)
+		h.hits.Add(1)
+		t.solver, t.snap = r.s, snap
+		if err := t.canonicalize(r.s.F.Dim()); err != nil {
+			return true, err
+		}
+		t.keyed, t.hist = true, true
+		t.prefix = histPrefix(v)
+		t.flightKey = t.prefix + t.suffix
+		return true, nil
+	}
+	h.mu.Unlock()
+	if _, ok := e.findHistoryBase(v); !ok {
+		return false, nil
+	}
+	n, ok := e.retainedDim()
+	if !ok {
+		return false, nil
+	}
+	h.requests.Add(1)
+	t.snap = snap
+	if err := t.canonicalize(n); err != nil {
+		return true, err
+	}
+	t.keyed, t.hist = true, true
+	t.prefix = histPrefix(v)
+	t.flightKey = t.prefix + t.suffix
+	return true, nil
+}
+
+// serveHistGroup materializes (or joins the materialization of) the
+// group's version, then solves the group against the materialized
+// solver like any pinned group.
+func (e *Engine) serveHistGroup(group []*task, w *workerScratch) {
+	sv, err := e.historySolver(uint64(group[0].snap))
+	if err != nil {
+		for _, t := range group {
+			e.finish(t, answer{}, err)
+		}
+		return
+	}
+	for _, t := range group {
+		t.solver = sv
+	}
+	e.solveGroup(group, sv, w)
+}
+
+// historySolver returns the materialized solver for version v: LRU
+// hit, join of an in-flight replay, or a fresh materialization
+// installed into the LRU.
+func (e *Engine) historySolver(v uint64) (*lu.Solver, error) {
+	h := e.hist
+	h.mu.Lock()
+	if r, ok := h.residents[v]; ok {
+		h.touchLocked(v)
+		h.mu.Unlock()
+		h.hits.Add(1)
+		return r.s, nil
+	}
+	if fl, ok := h.inflight[v]; ok {
+		h.mu.Unlock()
+		<-fl.done
+		return fl.s, fl.err
+	}
+	fl := &histFlight{done: make(chan struct{})}
+	h.inflight[v] = fl
+	h.mu.Unlock()
+
+	s, err := e.materialize(v)
+
+	h.mu.Lock()
+	delete(h.inflight, v)
+	if err == nil {
+		h.installLocked(v, s)
+	}
+	h.mu.Unlock()
+	fl.s, fl.err = s, err
+	close(fl.done)
+	return s, err
+}
+
+// materialize replays version v from its nearest retained base into a
+// recycled container. The base is read from the snapshot store, or
+// transparently reloaded from spill and re-pinned — the spill+history
+// interaction contract: evicting a base never strands its dependent
+// delta chain while the spill file exists.
+func (e *Engine) materialize(v uint64) (*lu.Solver, error) {
+	b, ok := e.findHistoryBase(v)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownSnapshot, int(v))
+	}
+	base, err := e.historyBaseSolver(int(b))
+	if err != nil {
+		return nil, err
+	}
+	h := e.hist
+	h.mu.Lock()
+	var dst lu.Factors
+	if k := len(h.free); k > 0 {
+		dst, h.free = h.free[k-1], h.free[:k-1]
+	}
+	h.mu.Unlock()
+
+	h.matMu.Lock()
+	f, merr := h.mw.MaterializeInto(dst, base.F, h.log, b, v, nil)
+	h.matMu.Unlock()
+	if merr != nil {
+		if dst != nil {
+			h.mu.Lock()
+			h.free = append(h.free, dst)
+			h.mu.Unlock()
+		}
+		return nil, fmt.Errorf("serve: materializing version %d from base %d: %w", v, b, merr)
+	}
+	h.materializations.Add(1)
+	// The depth histogram reuses the duration-typed histogram with one
+	// second per replayed version, so the exposed le bounds read as
+	// (power-of-two) depths.
+	h.replayDepth.Observe(time.Duration(v-b) * time.Second)
+	return &lu.Solver{F: f, O: base.O}, nil
+}
+
+// historyBaseSolver fetches a base's pinned solver, reloading and
+// re-pinning it from spill when evicted.
+func (e *Engine) historyBaseSolver(idx int) (*lu.Solver, error) {
+	e.mu.RLock()
+	entry, ok := e.snaps[idx]
+	e.mu.RUnlock()
+	if ok {
+		return entry.s, nil
+	}
+	sv, loaded := e.loadSpilled(idx)
+	if !loaded {
+		return nil, fmt.Errorf("%w: history base %d", ErrUnknownSnapshot, idx)
+	}
+	e.Pin(idx, sv)
+	return sv, nil
+}
+
+// touchLocked promotes v to most recently used. Callers hold h.mu.
+func (h *histState) touchLocked(v uint64) {
+	for i, lv := range h.lruOrder {
+		if lv == v {
+			copy(h.lruOrder[i:], h.lruOrder[i+1:])
+			h.lruOrder[len(h.lruOrder)-1] = v
+			return
+		}
+	}
+}
+
+// installLocked adds a materialized solver to the LRU and evicts past
+// the byte budget (never the entry just installed: one oversized
+// resident is better than thrashing). Evicted containers feed the
+// free pool so the next materialization reuses their arrays. Callers
+// hold h.mu.
+func (h *histState) installLocked(v uint64, s *lu.Solver) {
+	if _, ok := h.residents[v]; ok {
+		return // lost a (theoretical) race; keep the first
+	}
+	bytes := lu.MemBytes(s.F)
+	h.residents[v] = &histResident{s: s, bytes: bytes}
+	h.lruOrder = append(h.lruOrder, v)
+	h.bytes += bytes
+	for h.bytes > h.budget && len(h.lruOrder) > 1 {
+		old := h.lruOrder[0]
+		if old == v {
+			break
+		}
+		h.lruOrder = h.lruOrder[1:]
+		r := h.residents[old]
+		delete(h.residents, old)
+		h.bytes -= r.bytes
+		h.evictions.Add(1)
+		if len(h.free) < 2 {
+			h.free = append(h.free, r.s.F)
+		}
+	}
+}
+
+// VersionInfo describes one answerable history version for
+// /v1/snapshots: "resident" versions have factors in RAM now (pinned
+// base or LRU-materialized), "materializable" ones are answerable on
+// demand (delta replay, or spill reload for an evicted base).
+type VersionInfo struct {
+	Version uint64 `json:"version"`
+	State   string `json:"state"`
+}
+
+// HistoryVersions lists every version the history layer can currently
+// answer, ascending. Nil when history is disabled or empty.
+func (e *Engine) HistoryVersions() []VersionInfo {
+	if !e.historyEnabled() {
+		return nil
+	}
+	h := e.hist
+	lo, hi, ok := h.log.Bounds()
+	if !ok {
+		return nil
+	}
+	out := make([]VersionInfo, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		e.mu.RLock()
+		_, pinned := e.snaps[int(v)]
+		e.mu.RUnlock()
+		h.mu.Lock()
+		_, resident := h.residents[v]
+		h.mu.Unlock()
+		switch {
+		case pinned || resident:
+			out = append(out, VersionInfo{Version: v, State: "resident"})
+		case e.isRetainedBase(v):
+			out = append(out, VersionInfo{Version: v, State: "materializable"})
+		default:
+			if _, ok := e.findHistoryBase(v); ok {
+				out = append(out, VersionInfo{Version: v, State: "materializable"})
+			}
+		}
+	}
+	return out
+}
+
+// historyStats fills the history_* block of Stats.
+func (e *Engine) historyStats(st *Stats) {
+	h := e.hist
+	st.HistoryEnabled = e.historyEnabled()
+	st.HistoryBase = e.cfg.HistoryBase
+	st.HistoryVersions = h.log.Len()
+	st.HistoryLogBytes = h.log.Bytes()
+	st.HistoryBudgetBytes = h.budget
+	h.mu.Lock()
+	st.HistoryResidents = len(h.residents)
+	st.HistoryResidentBytes = h.bytes
+	h.mu.Unlock()
+	st.HistoryBasePins = h.basePins.Load()
+	st.HistoryRequests = h.requests.Load()
+	st.HistoryMaterializations = h.materializations.Load()
+	st.HistoryHits = h.hits.Load()
+	st.HistoryEvictions = h.evictions.Load()
+	if m := st.HistoryMaterializations; m > 0 {
+		st.HistoryDedupRatio = float64(st.HistoryRequests) / float64(m)
+	}
+}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lu"
+	"repro/internal/xrand"
+)
+
+// historyStream drives a random event stream of the given strategy
+// into eng's history hook, retaining an independent reference clone of
+// every published version. It returns the final version (all batches
+// applied, stream closed).
+func historyStream(t *testing.T, alg core.Algorithm, eng *Engine, nBatches int) (map[uint64]*lu.Solver, uint64) {
+	t.Helper()
+	rng := xrand.New(99)
+	n := 90
+	es := make([]graph.Edge, 0, 4*n)
+	for k := 0; k < 4*n; k++ {
+		es = append(es, graph.Edge{From: rng.Intn(n), To: rng.Intn(n)})
+	}
+	ref := make(map[uint64]*lu.Solver)
+	s, err := core.NewStream(core.StreamConfig{
+		Algorithm: alg, Alpha: 0.9,
+		Initial:   graph.New(n, true, es),
+		Derive:    graph.RWRMatrix(testDamping),
+		OnHistory: eng.HistoryHook(),
+		OnPublish: func(v uint64, sv *lu.Solver) { ref[v] = sv.Clone() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Events toggle edges from the initial pool, so the pattern stays
+	// inside the cluster union: CLUDE (and CINC) take the Bennett path
+	// and publish replayable non-structural versions, which is what the
+	// history layer exists to compress.
+	for b := 0; b < nBatches; b++ {
+		evs := make([]graph.EdgeEvent, 8)
+		for k := range evs {
+			e := es[rng.Intn(len(es))]
+			op := graph.EdgeDelete
+			if rng.Intn(2) == 0 {
+				op = graph.EdgeInsert
+			}
+			evs[k] = graph.EdgeEvent{From: e.From, To: e.To, Op: op}
+		}
+		if _, err := s.Apply(evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref, s.Version()
+}
+
+// TestHistoryServesEveryVersionBitIdentical is the tentpole's
+// acceptance gate at the serving layer: with base+delta retention
+// (HistoryBase=4) every published version of every strategy stays
+// queryable, and each answer is bit-identical to a cold solve of the
+// full clone the old clone-per-checkpoint path would have pinned.
+func TestHistoryServesEveryVersionBitIdentical(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.BF, core.INC, core.CINC, core.CLUDE} {
+		t.Run(string(alg), func(t *testing.T) {
+			eng := New(Config{Workers: 2, HistoryBase: 4, Damping: testDamping})
+			defer eng.Close()
+			ref, last := historyStream(t, alg, eng, 20)
+			for v := uint64(0); v <= last; v++ {
+				rs, ok := ref[v]
+				if !ok {
+					t.Fatalf("no reference clone for version %d", v)
+				}
+				for _, q := range []Query{
+					{Snapshot: int(v), Measure: MeasureRWR, Source: int(v) % 17},
+					{Snapshot: int(v), Measure: MeasureTopK, Source: 3, K: 5},
+				} {
+					resp, err := eng.Query(context.Background(), q)
+					if err != nil {
+						t.Fatalf("version %d %s: %v", v, q.Measure, err)
+					}
+					_, want := coldAnswer(q, rs)
+					if !reflect.DeepEqual(want, resp.Scores) {
+						t.Errorf("version %d %s: history answer differs from cold solve", v, q.Measure)
+					}
+				}
+			}
+			st := eng.Stats()
+			if !st.HistoryEnabled {
+				t.Error("stats say history disabled")
+			}
+			if st.HistoryBasePins == 0 {
+				t.Error("no base pins recorded")
+			}
+			// Incremental strategies publish non-structural versions, so
+			// some must have been materialized by replay. (BF rebuilds
+			// every batch: every version is a base, nothing to replay.)
+			if alg != core.BF && st.HistoryMaterializations == 0 {
+				t.Error("no materializations despite non-base versions")
+			}
+			if st.HistoryRequests < st.HistoryMaterializations {
+				t.Errorf("requests %d < materializations %d", st.HistoryRequests, st.HistoryMaterializations)
+			}
+			if st.HistoryVersions == 0 || st.HistoryLogBytes == 0 {
+				t.Errorf("empty history log: versions=%d bytes=%d", st.HistoryVersions, st.HistoryLogBytes)
+			}
+		})
+	}
+}
+
+// TestHistorySpilledBaseReload is the spill+history interaction
+// regression (the bug this PR fixes): a base evicted from the bounded
+// snapshot store must not strand its dependent delta chain. With
+// MaxSnapshots=2 the early bases are spilled to disk; a deep
+// non-base version must still materialize — its base transparently
+// reloaded and re-pinned — and answer bit-identically.
+func TestHistorySpilledBaseReload(t *testing.T) {
+	dir := t.TempDir()
+	eng := New(Config{Workers: 1, HistoryBase: 4, MaxSnapshots: 2, SpillDir: dir, Damping: testDamping})
+	defer eng.Close()
+	ref, last := historyStream(t, core.CLUDE, eng, 24)
+
+	// Find a non-base version whose base is no longer pinned in RAM.
+	pinned := make(map[int]bool)
+	for _, s := range eng.Snapshots() {
+		pinned[s] = true
+	}
+	target := uint64(0)
+	for v := uint64(1); v <= last; v++ {
+		rec, ok := eng.HistoryLog().Get(v)
+		if !ok || rec.Structural || pinned[int(v)] {
+			continue
+		}
+		if b, ok := eng.findHistoryBase(v); ok && !pinned[int(b)] {
+			target = v
+			break
+		}
+	}
+	if target == 0 {
+		t.Skip("every reachable base still pinned; bump batches to provoke eviction")
+	}
+	waitSpilled(t, eng, 1)
+
+	q := Query{Snapshot: int(target), Measure: MeasureRWR, Source: 11}
+	resp, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("deep version %d with spilled base: %v", target, err)
+	}
+	_, want := coldAnswer(q, ref[target])
+	if !reflect.DeepEqual(want, resp.Scores) {
+		t.Errorf("version %d: answer after base reload differs from cold solve", target)
+	}
+	st := eng.Stats()
+	if st.SpillReloads == 0 {
+		t.Error("no spill reload recorded for the evicted base")
+	}
+	if st.HistoryMaterializations == 0 {
+		t.Error("no materialization recorded for the deep version")
+	}
+}
+
+// TestHistoryMaterializationSingleFlight fires many concurrent
+// *distinct* queries (different sources, so query coalescing cannot
+// merge them) at one cold non-base version and asserts they shared a
+// single replay.
+func TestHistoryMaterializationSingleFlight(t *testing.T) {
+	eng := New(Config{Workers: 4, HistoryBase: 8, Damping: testDamping})
+	defer eng.Close()
+	ref, last := historyStream(t, core.CLUDE, eng, 16)
+
+	pinned := make(map[int]bool)
+	for _, s := range eng.Snapshots() {
+		pinned[s] = true
+	}
+	target := uint64(0)
+	for v := last; v > 0; v-- {
+		if !pinned[int(v)] {
+			if _, ok := eng.findHistoryBase(v); ok {
+				target = v
+				break
+			}
+		}
+	}
+	if target == 0 {
+		t.Fatal("no materializable non-base version found")
+	}
+
+	const G = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, G)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			q := Query{Snapshot: int(target), Measure: MeasureRWR, Source: src}
+			resp, err := eng.Query(context.Background(), q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			_, want := coldAnswer(q, ref[target])
+			if !reflect.DeepEqual(want, resp.Scores) {
+				t.Errorf("source %d: concurrent history answer differs from cold solve", src)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.HistoryMaterializations != 1 {
+		t.Errorf("materializations = %d, want 1 (single-flight replay)", st.HistoryMaterializations)
+	}
+	if st.HistoryRequests < int64(G) {
+		t.Errorf("requests = %d, want >= %d", st.HistoryRequests, G)
+	}
+	if st.HistoryDedupRatio < 1 {
+		t.Errorf("dedup ratio = %v, want >= 1", st.HistoryDedupRatio)
+	}
+}
+
+// TestHistoryBudgetEviction forces a one-byte residency budget:
+// every new materialization must evict its predecessor, and the
+// recycled containers keep answers bit-identical.
+func TestHistoryBudgetEviction(t *testing.T) {
+	eng := New(Config{Workers: 1, HistoryBase: 8, HistoryBudgetBytes: 1, Damping: testDamping})
+	defer eng.Close()
+	ref, last := historyStream(t, core.CLUDE, eng, 16)
+
+	pinned := make(map[int]bool)
+	for _, s := range eng.Snapshots() {
+		pinned[s] = true
+	}
+	served := 0
+	for v := uint64(1); v <= last; v++ {
+		if pinned[int(v)] {
+			continue
+		}
+		if _, ok := eng.findHistoryBase(v); !ok {
+			continue
+		}
+		q := Query{Snapshot: int(v), Measure: MeasureRWR, Source: 2}
+		resp, err := eng.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("version %d: %v", v, err)
+		}
+		_, want := coldAnswer(q, ref[v])
+		if !reflect.DeepEqual(want, resp.Scores) {
+			t.Errorf("version %d: answer under eviction pressure differs from cold solve", v)
+		}
+		served++
+	}
+	if served < 3 {
+		t.Fatalf("only %d non-base versions served; test needs eviction pressure", served)
+	}
+	st := eng.Stats()
+	if st.HistoryResidents > 1 {
+		t.Errorf("residents = %d under a 1-byte budget, want <= 1", st.HistoryResidents)
+	}
+	if st.HistoryEvictions == 0 {
+		t.Error("no evictions under a 1-byte budget")
+	}
+}
+
+// TestHistoryVersionsListing checks the /v1/snapshots view: bases are
+// resident, replayable versions materializable, and a queried version
+// flips to resident.
+func TestHistoryVersionsListing(t *testing.T) {
+	eng := New(Config{Workers: 1, HistoryBase: 4, Damping: testDamping})
+	defer eng.Close()
+	_, last := historyStream(t, core.CLUDE, eng, 12)
+
+	infos := eng.HistoryVersions()
+	if len(infos) == 0 {
+		t.Fatal("no history versions listed")
+	}
+	states := make(map[uint64]string, len(infos))
+	for _, in := range infos {
+		states[in.Version] = in.State
+	}
+	for _, s := range eng.Snapshots() {
+		if states[uint64(s)] != "resident" {
+			t.Errorf("pinned base %d listed as %q, want resident", s, states[uint64(s)])
+		}
+	}
+	var target uint64
+	for v := last; v > 0; v-- {
+		if states[v] == "materializable" {
+			target = v
+			break
+		}
+	}
+	if target == 0 {
+		t.Fatal("no materializable version listed")
+	}
+	if _, err := eng.Query(context.Background(), Query{Snapshot: int(target), Measure: MeasureRWR, Source: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range eng.HistoryVersions() {
+		if in.Version == target && in.State != "resident" {
+			t.Errorf("version %d still %q after materialization, want resident", target, in.State)
+		}
+	}
+}
+
+// TestHistoryDisabledUnchanged asserts the zero-config path is
+// untouched: no HistoryBase means unknown snapshots still 404 and the
+// stats block stays dark.
+func TestHistoryDisabledUnchanged(t *testing.T) {
+	eng, _, _ := pinnedEngine(t, Config{MaxSnapshots: 3, Workers: 1})
+	defer eng.Close()
+	st := eng.Stats()
+	if st.HistoryEnabled || st.HistoryRequests != 0 || st.HistoryVersions != 0 {
+		t.Errorf("history stats active without HistoryBase: %+v", st)
+	}
+	if eng.HistoryVersions() != nil {
+		t.Error("HistoryVersions non-nil with history disabled")
+	}
+}

@@ -50,6 +50,11 @@ func (e *Engine) RegisterMetrics(r *metrics.Registry) {
 	cf("clude_spill_reloads_total", "Spilled snapshots transparently reloaded on access.", &e.spillLoads)
 	cf("clude_spill_errors_total", "Spill-path failures (each degraded to the no-spill behavior).", &e.spillErrors)
 	cf("clude_live_queries_total", "Queries answered from the attached live source's hot factors.", &e.liveQueries)
+	cf("clude_history_requests_total", "Queries routed through the delta-compressed history layer.", &e.hist.requests)
+	cf("clude_history_materializations_total", "Versions materialized by delta replay (clude_history_requests_total / clude_history_materializations_total is the sharing factor).", &e.hist.materializations)
+	cf("clude_history_hits_total", "History queries served by an already-materialized (LRU-resident) solver.", &e.hist.hits)
+	cf("clude_history_evictions_total", "Materialized solvers evicted past the history byte budget.", &e.hist.evictions)
+	cf("clude_history_base_pins_total", "Full factor clones pinned at delta-chain bases (every HistoryBase-th plus every structural version).", &e.hist.basePins)
 
 	r.GaugeFunc("clude_cache_entries", "Result-cache entries currently held.", nil,
 		func() float64 { return float64(e.cache.len()) })
@@ -76,9 +81,37 @@ func (e *Engine) RegisterMetrics(r *metrics.Registry) {
 			}
 			return float64(v)
 		})
+	r.GaugeFunc("clude_history_resident_bytes", "Bytes retained by materialized (non-base) history solvers, against the HistoryBudgetBytes bound.", nil,
+		func() float64 {
+			e.hist.mu.Lock()
+			defer e.hist.mu.Unlock()
+			return float64(e.hist.bytes)
+		})
+	r.GaugeFunc("clude_history_residents", "Materialized history solvers currently LRU-resident.", nil,
+		func() float64 {
+			e.hist.mu.Lock()
+			defer e.hist.mu.Unlock()
+			return float64(len(e.hist.residents))
+		})
+	r.GaugeFunc("clude_history_log_bytes", "Bytes retained by the in-memory delta-record log.", nil,
+		func() float64 { return float64(e.hist.log.Bytes()) })
+	r.GaugeFunc("clude_history_versions", "Versions covered by the delta-record log window.", nil,
+		func() float64 { return float64(e.hist.log.Len()) })
+	r.GaugeFunc("clude_history_dedup_ratio", "History requests per materialization (replay sharing factor; 0 until the first replay).", nil,
+		func() float64 {
+			if m := e.hist.materializations.Load(); m > 0 {
+				return float64(e.hist.requests.Load()) / float64(m)
+			}
+			return 0
+		})
 
 	r.RegisterHistogram("clude_query_latency_seconds",
 		"End-to-end latency of successfully answered queries (entry to answer).", nil, &e.lat)
+	// Replay depth is a count, not a duration: it is recorded as one
+	// second per replayed version, so the histogram's le bounds read as
+	// (power-of-two) depths. See docs/API.md.
+	r.RegisterHistogram("clude_history_replay_depth",
+		"Delta-replay depth per materialization, in versions (recorded as seconds, 1 s = 1 version).", nil, &e.hist.replayDepth)
 	for i := range e.stages {
 		r.RegisterHistogram("clude_query_stage_seconds",
 			"Per-stage durations of the query pipeline: resolve, coalesce, admit, batch, solve.",

@@ -137,6 +137,18 @@ type Config struct {
 	// SpillKeep bounds how many spilled snapshots are retained on disk
 	// (oldest indices deleted past it). <= 0 means 4096.
 	SpillKeep int
+	// HistoryBase, when > 0, enables delta-compressed version history
+	// (see history.go): the HistoryHook pins a full factor clone only
+	// every HistoryBase-th version (plus every structural version, which
+	// starts a new delta chain) and records every version's Bennett
+	// delta; non-base versions materialize on demand by replaying deltas
+	// onto the nearest earlier base — bit-identical to the clone the
+	// checkpoint path would have pinned. 0 disables (classic
+	// clone-per-checkpoint retention).
+	HistoryBase int
+	// HistoryBudgetBytes bounds the bytes retained by materialized
+	// (non-base) solvers in the history LRU. <= 0 means 64 MiB.
+	HistoryBudgetBytes int64
 }
 
 // Query is one measure request.
@@ -271,6 +283,30 @@ type Stats struct {
 	SnapshotsSpilled int64 `json:"snapshots_spilled"`
 	SpillReloads     int64 `json:"spill_reloads"`
 	SpillErrors      int64 `json:"spill_errors"`
+
+	// Delta-compressed history counters (Config.HistoryBase; see
+	// history.go). HistoryVersions is the record-log window size and
+	// HistoryLogBytes its retained bytes; HistoryResidents /
+	// HistoryResidentBytes describe the materialized-solver LRU against
+	// HistoryBudgetBytes; HistoryBasePins counts full clones pinned at
+	// chain bases. Of the HistoryRequests routed through the history
+	// layer, only HistoryMaterializations paid a replay (HistoryHits hit
+	// the LRU; the rest joined an in-flight replay or the query cache) —
+	// HistoryDedupRatio = requests/materializations is the sharing
+	// factor.
+	HistoryEnabled          bool    `json:"history_enabled"`
+	HistoryBase             int     `json:"history_base,omitempty"`
+	HistoryVersions         int     `json:"history_versions,omitempty"`
+	HistoryLogBytes         int64   `json:"history_log_bytes,omitempty"`
+	HistoryResidents        int     `json:"history_residents,omitempty"`
+	HistoryResidentBytes    int64   `json:"history_resident_bytes,omitempty"`
+	HistoryBudgetBytes      int64   `json:"history_budget_bytes,omitempty"`
+	HistoryBasePins         int64   `json:"history_base_pins,omitempty"`
+	HistoryRequests         int64   `json:"history_requests,omitempty"`
+	HistoryMaterializations int64   `json:"history_materializations,omitempty"`
+	HistoryHits             int64   `json:"history_hits,omitempty"`
+	HistoryEvictions        int64   `json:"history_evictions,omitempty"`
+	HistoryDedupRatio       float64 `json:"history_dedup_ratio,omitempty"`
 }
 
 // HitRate returns the cache hit fraction over answered queries.
@@ -349,6 +385,11 @@ type Engine struct {
 	spillQueue                           []evictedSnap
 	spillKick                            chan struct{}
 	spillWrites, spillLoads, spillErrors atomic.Int64
+
+	// Delta-compressed history state (see history.go). Always
+	// allocated so stats/metrics reads are nil-safe; active only when
+	// Config.HistoryBase > 0.
+	hist *histState
 }
 
 // evictedSnap carries an evicted snapshot out of the locked region of
@@ -399,6 +440,7 @@ func New(cfg Config) *Engine {
 		spilled:      make(map[int]bool),
 		spillPending: make(map[int]*lu.Solver),
 		spillKick:    make(chan struct{}, 1),
+		hist:         newHistState(cfg.HistoryBudgetBytes),
 	}
 	if cfg.SpillDir != "" {
 		e.initSpill()
@@ -555,6 +597,7 @@ func (e *Engine) Stats() Stats {
 		st.LiveQueries = e.liveQueries.Load()
 		src.View(func(v uint64, _ *lu.Solver) { st.LiveVersion = v })
 	}
+	e.historyStats(&st)
 	return st
 }
 
@@ -738,6 +781,15 @@ func (e *Engine) resolve(q Query) (*task, error) {
 		return nil, ErrNoSnapshots
 	}
 	if !ok {
+		// History route: a version whose factors were never pinned (or
+		// were evicted) but is reachable as base+delta — resident in the
+		// materialized LRU, or replayable by a worker.
+		if routed, herr := e.resolveHistory(t, snap); routed {
+			if herr != nil {
+				return nil, herr
+			}
+			return t, nil
+		}
 		// Transparent reload of a spilled snapshot: read it back,
 		// re-pin it (possibly spilling another cold snapshot), and
 		// serve. The re-lookup below picks up the fresh pin generation

@@ -138,9 +138,12 @@ func (e *Engine) serveGroup(group []*task, w *workerScratch) {
 	for _, t := range group {
 		e.stages[stageBatch].Observe(s0.Sub(t.dequeuedAt))
 	}
-	if group[0].live {
+	switch {
+	case group[0].live:
 		e.serveLiveGroup(group, w)
-	} else {
+	case group[0].hist && group[0].solver == nil:
+		e.serveHistGroup(group, w)
+	default:
 		e.solveGroup(group, group[0].solver, w)
 	}
 	e.stages[stageSolve].Observe(time.Since(s0))

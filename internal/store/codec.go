@@ -93,6 +93,62 @@ func (c *cw) ints(s []int) {
 	}
 }
 
+// intsDelta encodes an int slice as its first value followed by
+// consecutive differences, each zigzag-varint. Index arrays — CSR row
+// pointers, per-column row indices, head tables — are near-monotone
+// with small strides, so the diffs collapse to one byte each where the
+// plain encoding pays one byte per significant digit pair. Occasional
+// backward jumps (column boundaries) cost a few bytes and stay exact:
+// the transform is lossless for any contents.
+func (c *cw) intsDelta(s []int) {
+	c.u64(uint64(len(s)))
+	prev := int64(0)
+	for _, v := range s {
+		c.i64(int64(v) - prev)
+		prev = int64(v)
+	}
+}
+
+func (c *cr) intsDelta() []int {
+	n := c.length(maxSliceLen)
+	if c.err != nil {
+		return nil
+	}
+	out := make([]int, 0, min(n, preallocCap))
+	prev := int64(0)
+	for i := 0; i < n && c.err == nil; i++ {
+		prev += c.i64()
+		if int64(int(prev)) != prev {
+			c.fail(fmt.Errorf("%w: delta-coded integer %d overflows int", ErrCorrupt, prev))
+			return nil
+		}
+		out = append(out, int(prev))
+	}
+	if c.err != nil {
+		return nil
+	}
+	return out
+}
+
+// idx writes an index array under the frame's format version: delta
+// coding from version 2, the plain varint stream before. Permutations
+// are NOT idx-coded — their diffs are as random as their values, so
+// they stay plain at every version.
+func (c *cw) idx(ver byte, s []int) {
+	if ver >= 2 {
+		c.intsDelta(s)
+	} else {
+		c.ints(s)
+	}
+}
+
+func (c *cr) idx(ver byte) []int {
+	if ver >= 2 {
+		return c.intsDelta()
+	}
+	return c.ints()
+}
+
 func (c *cw) floats(s []float64) {
 	c.u64(uint64(len(s)))
 	for _, v := range s {

@@ -18,6 +18,11 @@ const (
 	factorsMagic = "CLUF"
 	solverMagic  = "CLUS"
 
+	// codecVersion is the format version new frames are written at.
+	// Version 2 delta-codes the index arrays (see cw.idx); readers
+	// accept 1 and 2, so pre-upgrade files stay loadable.
+	codecVersion = 2
+
 	kindStatic  = 0
 	kindDynamic = 1
 )
@@ -29,8 +34,8 @@ const (
 // by construction rather than by trusting the input.
 func WriteFactors(w io.Writer, f lu.Factors) error {
 	c := newCW(w)
-	c.header(factorsMagic, 1)
-	writeFactorsBody(c, f)
+	c.header(factorsMagic, codecVersion)
+	writeFactorsBody(c, f, codecVersion)
 	if c.err != nil {
 		return c.err
 	}
@@ -41,10 +46,11 @@ func WriteFactors(w io.Writer, f lu.Factors) error {
 // same concrete type.
 func ReadFactors(r io.Reader) (lu.Factors, error) {
 	c := newCR(r)
-	if _, err := c.expectHeader(factorsMagic, 1); err != nil {
+	ver, err := c.expectHeader(factorsMagic, codecVersion)
+	if err != nil {
 		return nil, err
 	}
-	f := readFactorsBody(c)
+	f := readFactorsBody(c, ver)
 	if c.err != nil {
 		return nil, c.err
 	}
@@ -55,16 +61,16 @@ func ReadFactors(r io.Reader) (lu.Factors, error) {
 }
 
 // writeFactorsBody encodes the container into an open frame.
-func writeFactorsBody(c *cw, f lu.Factors) {
+func writeFactorsBody(c *cw, f lu.Factors, ver byte) {
 	switch t := f.(type) {
 	case *lu.StaticFactors:
 		c.u64(kindStatic)
 		c.i64(int64(t.Dim()))
-		c.ints(t.LColPtr)
-		c.ints(t.LRowIdx)
+		c.idx(ver, t.LColPtr)
+		c.idx(ver, t.LRowIdx)
 		c.floats(t.LVal)
-		c.ints(t.URowPtr)
-		c.ints(t.UColIdx)
+		c.idx(ver, t.URowPtr)
+		c.idx(ver, t.UColIdx)
 		c.floats(t.UVal)
 		c.floats(t.D)
 	case *lu.DynamicFactors:
@@ -76,8 +82,8 @@ func writeFactorsBody(c *cw, f lu.Factors) {
 			c.f64(nd.Val)
 			c.i64(int64(nd.Next))
 		}
-		c.ints(t.LHead)
-		c.ints(t.UHead)
+		c.idx(ver, t.LHead)
+		c.idx(ver, t.UHead)
 		c.floats(t.D)
 		c.i64(int64(t.Inserts))
 		c.i64(int64(t.ScanSteps))
@@ -89,15 +95,15 @@ func writeFactorsBody(c *cw, f lu.Factors) {
 }
 
 // readFactorsBody decodes one container from an open frame.
-func readFactorsBody(c *cr) lu.Factors {
+func readFactorsBody(c *cr, ver byte) lu.Factors {
 	switch kind := c.u64(); kind {
 	case kindStatic:
 		n := c.intv()
-		lColPtr := c.ints()
-		lRowIdx := c.ints()
+		lColPtr := c.idx(ver)
+		lRowIdx := c.idx(ver)
 		lVal := c.floats()
-		uRowPtr := c.ints()
-		uColIdx := c.ints()
+		uRowPtr := c.idx(ver)
+		uColIdx := c.idx(ver)
 		uVal := c.floats()
 		d := c.floats()
 		if c.err != nil {
@@ -116,8 +122,8 @@ func readFactorsBody(c *cr) lu.Factors {
 		for i := 0; i < cnt && c.err == nil; i++ {
 			nodes = append(nodes, lu.ListNode{Idx: c.intv(), Val: c.f64(), Next: c.intv()})
 		}
-		lHead := c.ints()
-		uHead := c.ints()
+		lHead := c.idx(ver)
+		uHead := c.idx(ver)
 		d := c.floats()
 		inserts := c.intv()
 		scans := c.intv()
@@ -166,7 +172,7 @@ func readOrdering(c *cr) sparse.Ordering {
 
 // writePattern / readPattern encode a sparsity pattern; nil is legal
 // (absence flag).
-func writePattern(c *cw, p *sparse.Pattern) {
+func writePattern(c *cw, p *sparse.Pattern, ver byte) {
 	if p == nil {
 		c.bool(false)
 		return
@@ -174,17 +180,17 @@ func writePattern(c *cw, p *sparse.Pattern) {
 	c.bool(true)
 	rowPtr, colIdx := p.PatternArrays()
 	c.i64(int64(p.N()))
-	c.ints(rowPtr)
-	c.ints(colIdx)
+	c.idx(ver, rowPtr)
+	c.idx(ver, colIdx)
 }
 
-func readPattern(c *cr) *sparse.Pattern {
+func readPattern(c *cr, ver byte) *sparse.Pattern {
 	if !c.bool() || c.err != nil {
 		return nil
 	}
 	n := c.intv()
-	rowPtr := c.ints()
-	colIdx := c.ints()
+	rowPtr := c.idx(ver)
+	colIdx := c.idx(ver)
 	if c.err != nil {
 		return nil
 	}
@@ -197,7 +203,7 @@ func readPattern(c *cr) *sparse.Pattern {
 }
 
 // writeCSR / readCSR encode a sparse matrix; nil is legal.
-func writeCSR(c *cw, m *sparse.CSR) {
+func writeCSR(c *cw, m *sparse.CSR, ver byte) {
 	if m == nil {
 		c.bool(false)
 		return
@@ -205,18 +211,18 @@ func writeCSR(c *cw, m *sparse.CSR) {
 	c.bool(true)
 	rowPtr, colIdx, vals := m.Arrays()
 	c.i64(int64(m.N()))
-	c.ints(rowPtr)
-	c.ints(colIdx)
+	c.idx(ver, rowPtr)
+	c.idx(ver, colIdx)
 	c.floats(vals)
 }
 
-func readCSR(c *cr) *sparse.CSR {
+func readCSR(c *cr, ver byte) *sparse.CSR {
 	if !c.bool() || c.err != nil {
 		return nil
 	}
 	n := c.intv()
-	rowPtr := c.ints()
-	colIdx := c.ints()
+	rowPtr := c.idx(ver)
+	colIdx := c.idx(ver)
 	vals := c.floats()
 	if c.err != nil {
 		return nil
@@ -233,9 +239,9 @@ func readCSR(c *cr) *sparse.CSR {
 // the unit the serving layer spills evicted snapshots as.
 func WriteSolver(w io.Writer, s *lu.Solver) error {
 	c := newCW(w)
-	c.header(solverMagic, 1)
+	c.header(solverMagic, codecVersion)
 	writeOrdering(c, s.O)
-	writeFactorsBody(c, s.F)
+	writeFactorsBody(c, s.F, codecVersion)
 	if c.err != nil {
 		return c.err
 	}
@@ -245,11 +251,12 @@ func WriteSolver(w io.Writer, s *lu.Solver) error {
 // ReadSolver parses a WriteSolver frame.
 func ReadSolver(r io.Reader) (*lu.Solver, error) {
 	c := newCR(r)
-	if _, err := c.expectHeader(solverMagic, 1); err != nil {
+	ver, err := c.expectHeader(solverMagic, codecVersion)
+	if err != nil {
 		return nil, err
 	}
 	o := readOrdering(c)
-	f := readFactorsBody(c)
+	f := readFactorsBody(c, ver)
 	if c.err != nil {
 		return nil, c.err
 	}

@@ -81,7 +81,7 @@ func readGraphBody(c *cr) *graph.Graph {
 
 // writeTracker / readTracker encode the α-membership state; nil is
 // legal (BF/INC streams have no tracker).
-func writeTracker(c *cw, st *cluster.TrackerState) {
+func writeTracker(c *cw, st *cluster.TrackerState, ver byte) {
 	if st == nil {
 		c.bool(false)
 		return
@@ -91,11 +91,11 @@ func writeTracker(c *cw, st *cluster.TrackerState) {
 	c.i64(int64(st.Start))
 	c.i64(int64(st.End))
 	c.i64(int64(st.Clusters))
-	writePattern(c, st.Inter)
-	writePattern(c, st.Union)
+	writePattern(c, st.Inter, ver)
+	writePattern(c, st.Union, ver)
 }
 
-func readTracker(c *cr) *cluster.TrackerState {
+func readTracker(c *cr, ver byte) *cluster.TrackerState {
 	if !c.bool() || c.err != nil {
 		return nil
 	}
@@ -105,8 +105,8 @@ func readTracker(c *cr) *cluster.TrackerState {
 		End:      c.intv(),
 		Clusters: c.intv(),
 	}
-	st.Inter = readPattern(c)
-	st.Union = readPattern(c)
+	st.Inter = readPattern(c, ver)
+	st.Union = readPattern(c, ver)
 	if c.err != nil {
 		return nil
 	}

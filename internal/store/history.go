@@ -1,0 +1,323 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/bennett"
+	"repro/internal/sparse"
+)
+
+// History sidecar: an append-only file of bennett.VersionRecord frames
+// (magic CLUH), one per published version, feeding the serving layer's
+// delta-compressed history across restarts. The file is a cache of
+// information the WAL can mostly regenerate — losing its tail only
+// shrinks the set of materializable old versions, never correctness —
+// so records are buffered-write, fsynced on Close, and each carries its
+// own CRC: the reader stops at the first torn or corrupt frame exactly
+// like the WAL's torn-tail model.
+//
+// Frame layout after the 5-byte file prologue ("CLUH" + version byte):
+//
+//	uvarint payloadLen | payload | CRC-32C(payload)
+//
+// Payload: version, structural flag, and the rank-1 terms, each term's
+// support rows delta-coded (they are sorted per SplitTerms' grouping of
+// an already-ordered delta, so diffs are small).
+
+const (
+	historyMagic   = "CLUH"
+	historyVersion = 1
+	// maxHistoryFrame bounds a frame the reader will buffer; larger
+	// lengths are treated as corruption.
+	maxHistoryFrame = 1 << 28
+)
+
+// HistoryFile is the open sidecar: scan-once on open, append-only
+// afterwards. Safe for concurrent Append (the publish hook may race a
+// WAL-replay hook only in pathological wirings, but the lock is cheap).
+type HistoryFile struct {
+	mu      sync.Mutex
+	f       *os.File
+	lastVer uint64
+	has     bool
+	records int64
+	bytes   int64
+	loaded  []bennett.VersionRecord
+}
+
+// OpenHistory opens (or creates) the history sidecar at path, scans
+// every valid record — truncating a torn tail in place — and returns
+// the file positioned for appends. The scanned records are kept for
+// LoadHistory until the caller drops them.
+func OpenHistory(path string) (*HistoryFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	h := &HistoryFile{f: f}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() == 0 {
+		if _, err := f.Write(append([]byte(historyMagic), historyVersion)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		h.bytes = int64(len(historyMagic)) + 1
+		return h, nil
+	}
+
+	// Scan: validate the prologue, then read frames until the data runs
+	// out or stops verifying. good tracks the end of the last valid
+	// frame; everything past it is a torn tail and is truncated so
+	// appends resume on a clean boundary.
+	br := bufio.NewReader(io.NewSectionReader(f, 0, info.Size()))
+	prologue := make([]byte, len(historyMagic)+1)
+	if _, err := io.ReadFull(br, prologue); err != nil || string(prologue[:len(historyMagic)]) != historyMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad history prologue", ErrCorrupt)
+	}
+	if prologue[len(historyMagic)] == 0 || prologue[len(historyMagic)] > historyVersion {
+		f.Close()
+		return nil, fmt.Errorf("store: unsupported history format version %d (max %d)", prologue[len(historyMagic)], historyVersion)
+	}
+	good := int64(len(prologue))
+	pos := good
+	cr := &countingReader{r: br}
+	for {
+		n, err := binary.ReadUvarint(cr)
+		if err != nil || n > maxHistoryFrame {
+			break
+		}
+		frame := make([]byte, n+4)
+		if _, err := io.ReadFull(cr, frame); err != nil {
+			break
+		}
+		payload, tail := frame[:n], frame[n:]
+		if binary.LittleEndian.Uint32(tail) != crc32Sum(payload) {
+			break
+		}
+		rec, err := decodeHistoryRecord(payload)
+		if err != nil {
+			break
+		}
+		pos += cr.n
+		cr.n = 0
+		good = pos
+		h.loaded = append(h.loaded, rec)
+		h.lastVer, h.has = rec.Version, true
+		h.records++
+	}
+	if good < info.Size() {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	h.bytes = good
+	return h, nil
+}
+
+// countingReader counts consumed bytes so the scanner knows where each
+// frame ended (bufio readahead hides the file offset).
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// crc32Sum is the package checksum over one history payload.
+func crc32Sum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// Append writes rec unless it is at or below the newest version already
+// on disk — the idempotency guard that lets WAL replay re-fire publish
+// hooks without duplicating frames.
+func (h *HistoryFile) Append(rec bennett.VersionRecord) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.f == nil {
+		return fmt.Errorf("store: history file closed")
+	}
+	if h.has && rec.Version <= h.lastVer {
+		return nil
+	}
+	var payload bytes.Buffer
+	encodeHistoryRecord(&payload, rec)
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(payload.Len()))
+	crc := crc32Sum(payload.Bytes())
+	if _, err := h.f.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := h.f.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := h.f.Write(tail[:]); err != nil {
+		return err
+	}
+	h.lastVer, h.has = rec.Version, true
+	h.records++
+	h.bytes += int64(n) + int64(payload.Len()) + 4
+	return nil
+}
+
+// LoadHistory returns the records scanned at open time, oldest first.
+// The slice is owned by the caller; the file keeps no reference.
+func (h *HistoryFile) LoadHistory() []bennett.VersionRecord {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := h.loaded
+	h.loaded = nil
+	return out
+}
+
+// Counters returns the record and byte totals (scanned + appended).
+func (h *HistoryFile) Counters() (records, bytes int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.records, h.bytes
+}
+
+// Close fsyncs and closes the sidecar.
+func (h *HistoryFile) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.f == nil {
+		return nil
+	}
+	err := h.f.Sync()
+	if cerr := h.f.Close(); err == nil {
+		err = cerr
+	}
+	h.f = nil
+	return err
+}
+
+// encodeHistoryRecord writes rec's payload (no framing, no CRC).
+func encodeHistoryRecord(w *bytes.Buffer, rec bennett.VersionRecord) {
+	var scratch [binary.MaxVarintLen64]byte
+	putU := func(v uint64) { w.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+	putI := func(v int64) { w.Write(scratch[:binary.PutVarint(scratch[:], v)]) }
+	putU(rec.Version)
+	if rec.Structural {
+		putU(1)
+	} else {
+		putU(0)
+	}
+	putU(uint64(len(rec.Terms)))
+	for _, t := range rec.Terms {
+		putI(int64(t.Key))
+		if t.ByCol {
+			putU(1)
+		} else {
+			putU(0)
+		}
+		putU(uint64(len(t.W)))
+		prev := int64(0)
+		for _, e := range t.W {
+			putI(int64(e.Row) - prev)
+			prev = int64(e.Row)
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(e.Val))
+			w.Write(b[:])
+		}
+	}
+}
+
+// decodeHistoryRecord parses one payload produced by
+// encodeHistoryRecord.
+func decodeHistoryRecord(p []byte) (bennett.VersionRecord, error) {
+	r := bytes.NewReader(p)
+	var rec bennett.VersionRecord
+	u := func() (uint64, error) { return binary.ReadUvarint(r) }
+	i := func() (int64, error) { return binary.ReadVarint(r) }
+	var err error
+	if rec.Version, err = u(); err != nil {
+		return rec, err
+	}
+	s, err := u()
+	if err != nil {
+		return rec, err
+	}
+	rec.Structural = s != 0
+	nt, err := u()
+	if err != nil {
+		return rec, err
+	}
+	if nt > maxHistoryFrame {
+		return rec, fmt.Errorf("%w: %d terms", ErrCorrupt, nt)
+	}
+	if nt > 0 {
+		rec.Terms = make([]bennett.Rank1Term, 0, min(int(nt), preallocCap))
+	}
+	for k := uint64(0); k < nt; k++ {
+		var t bennett.Rank1Term
+		key, err := i()
+		if err != nil {
+			return rec, err
+		}
+		t.Key = int(key)
+		bc, err := u()
+		if err != nil {
+			return rec, err
+		}
+		t.ByCol = bc != 0
+		ne, err := u()
+		if err != nil {
+			return rec, err
+		}
+		if ne > maxHistoryFrame {
+			return rec, fmt.Errorf("%w: %d entries", ErrCorrupt, ne)
+		}
+		if ne > 0 {
+			t.W = make([]sparse.Entry, 0, min(int(ne), preallocCap))
+		}
+		prev := int64(0)
+		for j := uint64(0); j < ne; j++ {
+			d, err := i()
+			if err != nil {
+				return rec, err
+			}
+			prev += d
+			var b [8]byte
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return rec, err
+			}
+			t.W = append(t.W, sparse.Entry{Row: int(prev), Val: math.Float64frombits(binary.LittleEndian.Uint64(b[:]))})
+		}
+		rec.Terms = append(rec.Terms, t)
+	}
+	if r.Len() != 0 {
+		return rec, fmt.Errorf("%w: %d trailing bytes in history record", ErrCorrupt, r.Len())
+	}
+	return rec, nil
+}

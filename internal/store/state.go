@@ -18,7 +18,7 @@ const stateMagic = "CLUD"
 // WriteStreamState serializes a complete stream checkpoint.
 func WriteStreamState(w io.Writer, st *core.StreamState) error {
 	c := newCW(w)
-	c.header(stateMagic, 1)
+	c.header(stateMagic, codecVersion)
 
 	c.str(string(st.Algorithm))
 	c.f64(st.Alpha)
@@ -26,22 +26,22 @@ func WriteStreamState(w io.Writer, st *core.StreamState) error {
 	c.u64(st.Seq)
 
 	writeGraphBody(c, st.Graph)
-	writeTracker(c, st.Tracker)
+	writeTracker(c, st.Tracker, codecVersion)
 	writeOrdering(c, st.Ord)
 
 	switch {
 	case st.Dyn != nil:
 		c.bool(true)
-		writeFactorsBody(c, st.Dyn)
+		writeFactorsBody(c, st.Dyn, codecVersion)
 	case st.Static != nil:
 		c.bool(true)
-		writeFactorsBody(c, st.Static)
+		writeFactorsBody(c, st.Static, codecVersion)
 	default:
 		c.bool(false)
 	}
 
-	writeCSR(c, st.Prev)
-	writePattern(c, st.StructUnion)
+	writeCSR(c, st.Prev, codecVersion)
+	writePattern(c, st.StructUnion, codecVersion)
 
 	// Counters, individually: StreamStats excludes the Bennett block
 	// from JSON, and a positional binary layout keeps old files readable
@@ -68,7 +68,8 @@ func WriteStreamState(w io.Writer, st *core.StreamState) error {
 // ready for core.RestoreStream.
 func ReadStreamState(r io.Reader) (*core.StreamState, error) {
 	c := newCR(r)
-	if _, err := c.expectHeader(stateMagic, 1); err != nil {
+	ver, err := c.expectHeader(stateMagic, codecVersion)
+	if err != nil {
 		return nil, err
 	}
 	st := &core.StreamState{
@@ -78,11 +79,11 @@ func ReadStreamState(r io.Reader) (*core.StreamState, error) {
 		Seq:       c.u64(),
 	}
 	st.Graph = readGraphBody(c)
-	st.Tracker = readTracker(c)
+	st.Tracker = readTracker(c, ver)
 	st.Ord = readOrdering(c)
 
 	if c.bool() && c.err == nil {
-		switch f := readFactorsBody(c).(type) {
+		switch f := readFactorsBody(c, ver).(type) {
 		case *lu.DynamicFactors:
 			st.Dyn = f
 		case *lu.StaticFactors:
@@ -90,8 +91,8 @@ func ReadStreamState(r io.Reader) (*core.StreamState, error) {
 		}
 	}
 
-	st.Prev = readCSR(c)
-	st.StructUnion = readPattern(c)
+	st.Prev = readCSR(c, ver)
+	st.StructUnion = readPattern(c, ver)
 
 	st.Stats.Batches = c.intv()
 	st.Stats.Events = c.intv()

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bennett"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lu"
@@ -41,6 +42,13 @@ type Options struct {
 	KeepSnapshots int
 	// SegmentBytes is the WAL rotation threshold. <= 0 means 4 MiB.
 	SegmentBytes int64
+	// History enables the delta-record sidecar (history.cluh): every
+	// published version's bennett.VersionRecord is appended, and
+	// LoadHistory returns the records found at open time so a serving
+	// engine can seed its delta-compressed history across restarts.
+	// Best-effort durability: append errors are counted, never fatal,
+	// and a torn tail only shrinks the materializable window.
+	History bool
 	// OnStage, when non-nil, receives the duration of each durability
 	// stage: "wal_append" per logged batch (durable write + fsync per
 	// the sync policy) and "snapshot" per checkpoint written. Must be
@@ -83,14 +91,18 @@ type StoreStats struct {
 	LastSnapshotVersion uint64       `json:"last_snapshot_version"`
 	SnapshotErrors      int64        `json:"snapshot_errors"`
 	LastSnapshotError   string       `json:"last_snapshot_error,omitempty"`
+	HistoryRecords      int64        `json:"history_records,omitempty"`
+	HistoryBytes        int64        `json:"history_bytes,omitempty"`
+	HistoryErrors       int64        `json:"history_errors,omitempty"`
 	Recovery            RecoveryInfo `json:"recovery"`
 }
 
 // Store manages the durable state of one stream in one directory.
 type Store struct {
-	dir string
-	opt Options
-	wal *WAL
+	dir  string
+	opt  Options
+	wal  *WAL
+	hist *HistoryFile // nil unless Options.History
 
 	mu            sync.Mutex
 	stream        *core.Stream
@@ -100,6 +112,7 @@ type Store struct {
 	snapsWritten  int64
 	snapErrors    int64
 	lastSnapError string
+	histErrors    int64
 	recovery      RecoveryInfo
 
 	snapCh    chan struct{}
@@ -127,13 +140,32 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{
+	st := &Store{
 		dir:    dir,
 		opt:    opt,
 		wal:    wal,
 		snapCh: make(chan struct{}, 1),
 		done:   make(chan struct{}),
-	}, nil
+	}
+	if opt.History {
+		st.hist, err = OpenHistory(filepath.Join(dir, "history.cluh"))
+		if err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// LoadHistory returns the delta records the history sidecar held when
+// the store was opened, oldest first — feed these to the serving
+// engine's SeedHistory *before* OpenStream, so WAL replay appends onto
+// a seeded window instead of resetting it. Nil without Options.History.
+func (st *Store) LoadHistory() []bennett.VersionRecord {
+	if st.hist == nil {
+		return nil
+	}
+	return st.hist.LoadHistory()
 }
 
 // Dir returns the store's data directory.
@@ -171,6 +203,23 @@ func (st *Store) OpenStream(cfg core.StreamConfig) (*core.Stream, RecoveryInfo, 
 			userPublish(version, s)
 		}
 		st.notePublish()
+	}
+	if st.hist != nil {
+		// Chain the user hook first (the serving engine must see the
+		// record before anyone can query the version), then persist.
+		// The sidecar's own version guard absorbs WAL-replay re-fires.
+		userHistory := cfg.OnHistory
+		hist := st.hist
+		cfg.OnHistory = func(s *lu.Solver, rec bennett.VersionRecord) {
+			if userHistory != nil {
+				userHistory(s, rec)
+			}
+			if err := hist.Append(rec); err != nil {
+				st.mu.Lock()
+				st.histErrors++
+				st.mu.Unlock()
+			}
+		}
 	}
 
 	var stream *core.Stream
@@ -247,11 +296,17 @@ func Recover(dir string, cfg core.StreamConfig, opt Options) (*core.Stream, *Sto
 	}
 	if err != nil {
 		st.wal.Close()
+		if st.hist != nil {
+			st.hist.Close()
+		}
 		return nil, nil, RecoveryInfo{}, err
 	}
 	stream, info, err := st.OpenStream(cfg)
 	if err != nil {
 		st.wal.Close()
+		if st.hist != nil {
+			st.hist.Close()
+		}
 		return nil, nil, info, err
 	}
 	return stream, st, info, nil
@@ -422,9 +477,16 @@ func (st *Store) loadLatestState() (*core.StreamState, int, error) {
 // Stats returns a snapshot of the store's counters.
 func (st *Store) Stats() StoreStats {
 	walRecords, walBytes, walSegs, fsyncs := st.wal.counters()
+	var histRecs, histBytes int64
+	if st.hist != nil {
+		histRecs, histBytes = st.hist.Counters()
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return StoreStats{
+		HistoryRecords:      histRecs,
+		HistoryBytes:        histBytes,
+		HistoryErrors:       st.histErrors,
 		Dir:                 st.dir,
 		Sync:                st.opt.Sync.String(),
 		WALRecords:          walRecords,
@@ -458,6 +520,11 @@ func (st *Store) Close() error {
 		}
 		if err := st.wal.Close(); err != nil {
 			errs = append(errs, err)
+		}
+		if st.hist != nil {
+			if err := st.hist.Close(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 		st.closeErr = errors.Join(errs...)
 	})

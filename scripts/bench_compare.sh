@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Compare two BENCH_*.json artifacts (committed baseline vs. current
+# run) and print per-table, per-row deltas. Informational by design:
+# CI runners vary, so this surfaces the perf trajectory for a human to
+# read rather than failing the build on a noisy latency cell. Exits
+# non-zero only when the artifacts are unreadable or share no
+# comparable tables (which usually means the experiment was renamed
+# and the baseline should be regenerated).
+#
+# Usage: scripts/bench_compare.sh baseline.json current.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 baseline.json current.json" >&2
+  exit 2
+fi
+
+exec go run ./cmd/cludebench -compare "$1" "$2"

@@ -6,7 +6,11 @@
 # query returns the identical scores, and (c) the /v1/metrics
 # exposition on the recovered server parses and reports the recovery
 # (clude_store_recovered == 1, clude_stream_version == pre-kill
-# version). This is the end-to-end, real-binary companion to
+# version). The server runs with -history-base, so the run also proves
+# the delta-compressed history survives the kill: the history.cluh
+# sidecar plus WAL replay must leave a recent history version
+# materializable on the recovered server with answers identical to the
+# pre-kill ones. This is the end-to-end, real-binary companion to
 # internal/store's kill-point property tests; CI runs it per PR.
 set -euo pipefail
 
@@ -18,7 +22,7 @@ WORK="$(mktemp -d)"
 DATA="$WORK/data"
 SRV_FLAGS=(-stream -alg CLUDE -scale tiny -addr "$ADDR"
   -data-dir "$DATA" -fsync always -snapshot-every 4
-  -batch 4 -flush-ms 50)
+  -batch 4 -flush-ms 50 -history-base 2)
 PID=""
 
 cleanup() {
@@ -62,6 +66,11 @@ PRE_SCORES=$(curl -fsS "$BASE/query?measure=rwr&source=3" | json "d['scores']")
 PRE_TOP=$(curl -fsS "$BASE/query?measure=topk&source=3&k=5" | json "d['nodes']")
 log "pre-kill: version=$PRE_VERSION"
 [ "$PRE_VERSION" -ge 1 ] || { log "no versions committed before kill"; exit 1; }
+# A history version one behind the head: with -history-base 2 it is
+# either a pinned base or a delta-materialized version; both must
+# survive the kill below.
+HIST_VERSION=$((PRE_VERSION - 1))
+PRE_HIST=$(curl -fsS "$BASE/query?measure=rwr&source=3&snapshot=$HIST_VERSION" | json "d['scores']")
 
 log "SIGKILL mid-stream"
 kill -9 "$PID"
@@ -93,6 +102,17 @@ if [ "$POST_TOP" != "$PRE_TOP" ]; then
   log "FAIL: recovered topk differs from pre-kill answer"; FAIL=1
 fi
 
+# Delta-compressed history across the kill: the recovered server must
+# still list the old version as answerable and answer it identically.
+HIST_LISTED=$(curl -fsS "$BASE/snapshots" | json "any(h['version'] == $HIST_VERSION for h in d.get('history', []))")
+if [ "$HIST_LISTED" != "True" ]; then
+  log "FAIL: recovered /v1/snapshots does not list history version $HIST_VERSION"; FAIL=1
+fi
+POST_HIST=$(curl -fsS "$BASE/query?measure=rwr&source=3&snapshot=$HIST_VERSION" | json "d['scores']")
+if [ "$POST_HIST" != "$PRE_HIST" ]; then
+  log "FAIL: recovered history version $HIST_VERSION answers differently"; FAIL=1
+fi
+
 # The recovered server's metrics exposition must parse (every line a
 # comment or `series value`) and report the warm restart.
 METRICS="$WORK/metrics.txt"
@@ -116,7 +136,8 @@ with open(sys.argv[1]) as f:
 if series.get("clude_store_recovered") != 1:
     sys.exit(f"clude_store_recovered = {series.get('clude_store_recovered')}, want 1")
 for required in ("clude_stream_version", "clude_wal_records_total",
-                 "clude_store_replayed_batches", "clude_queries_total"):
+                 "clude_store_replayed_batches", "clude_queries_total",
+                 "clude_history_versions", "clude_history_base_pins_total"):
     if required not in series:
         sys.exit(f"missing series {required}")
 EOF
@@ -150,4 +171,4 @@ if [ "$FAIL" -ne 0 ]; then
   cat "$WORK/server.log" "$WORK/server2.log" >&2 || true
   exit 1
 fi
-log "OK: recovered to version $PRE_VERSION with bit-identical answers and a clean metrics exposition"
+log "OK: recovered to version $PRE_VERSION with bit-identical answers (live and history v$HIST_VERSION) and a clean metrics exposition"
