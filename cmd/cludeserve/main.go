@@ -109,7 +109,7 @@ func main() {
 		flushMS    = flag.Int("flush-ms", 200, "streaming: max linger before a partial batch commits (0 = size-only)")
 		checkpoint = flag.Int("checkpoint", 0, "streaming: pin a factor clone every k versions (0 = never)")
 		histBase   = flag.Int("history-base", 0, "streaming: delta-compressed history — pin a base clone every k versions and serve the versions between them by Bennett delta replay (0 = disabled; replaces -checkpoint)")
-		histBudget = flag.Int64("history-budget", 0, "streaming: byte budget for LRU-cached materialized history versions (0 = one version)")
+		histBudget = flag.Int64("history-budget", 0, "streaming: byte budget for LRU-cached materialized history versions (0 = 64 MiB default)")
 
 		dataDir   = flag.String("data-dir", "", "durability directory: WAL + factor snapshots (streaming), snapshot spill (both modes); empty = memory only")
 		fsyncMode = flag.String("fsync", "always", "WAL fsync policy: always | none")
@@ -296,6 +296,10 @@ func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs 
 			// those records must land on top of the persisted window
 			// rather than reset it.
 			eng.SeedHistory(st.LoadHistory())
+			// The sidecar compacts in step with the engine's retention:
+			// when the oldest materializable version advances, the dead
+			// records are rewritten away at the next snapshot cycle.
+			eng.OnHistoryTrim(st.TrimHistory)
 		}
 		cfg.OnHistory = eng.HistoryHook()
 	case checkpoint > 0:

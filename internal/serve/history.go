@@ -18,7 +18,7 @@ import (
 // structural version — and keeps the Bennett rank-1 term sequence of
 // every version in a bennett.HistoryLog. A query addressing a non-base
 // version materializes its factors on demand: clone the nearest
-// earlier base into a recycled container, replay the recorded terms
+// earlier base into a fresh container, replay the recorded terms
 // (bit-identical to the clone the old checkpoint path would have
 // pinned), and answer. Materialized solvers live in a byte-budgeted
 // LRU (Config.HistoryBudgetBytes); concurrent queries for the same
@@ -51,10 +51,17 @@ type histFlight struct {
 }
 
 // histState is the engine's history machinery. The log has its own
-// lock; mu guards residents/LRU/free/inflight; matMu serializes the
-// one pooled MaterializeWorkspace (replays are coalesced per version,
-// so materialization concurrency is rarely worth a workspace per
-// worker).
+// lock; mu guards residents/LRU/inflight; matMu serializes the one
+// pooled MaterializeWorkspace (replays are coalesced per version, so
+// materialization concurrency is rarely worth a workspace per worker).
+//
+// A materialized container is immutable once installed and is never
+// recycled: tasks bind a resident's *lu.Solver at resolve time and may
+// still be queued (or mid-solve) when the LRU evicts it, so reusing an
+// evicted container's backing arrays for the next materialization
+// would rewrite factors under a concurrent solve. Eviction only drops
+// the reference; the GC reclaims the arrays once the last in-flight
+// solve lets go.
 type histState struct {
 	log    *bennett.HistoryLog
 	budget int64
@@ -64,7 +71,11 @@ type histState struct {
 	lruOrder  []uint64 // least recently used first
 	bytes     int64
 	inflight  map[uint64]*histFlight
-	free      []lu.Factors // recycled containers from evicted residents
+
+	// onTrim, when set (OnHistoryTrim, before serving starts), is
+	// called with each new retention floor so the owner can compact
+	// persisted history in step with the in-memory log.
+	onTrim func(below uint64)
 
 	matMu sync.Mutex
 	mw    bennett.MaterializeWorkspace
@@ -114,8 +125,78 @@ func (e *Engine) HistoryHook() func(s *lu.Solver, rec bennett.VersionRecord) {
 		if rec.Structural || rec.Version%base == 0 {
 			e.hist.basePins.Add(1)
 			e.Pin(int(rec.Version), s.Clone())
+			// Pinning may have evicted (and with spill disabled,
+			// dropped) the oldest base: records below the new retention
+			// floor can never be replayed again, so the log sheds them
+			// here instead of growing with the stream.
+			e.trimHistory()
 		}
 	}
+}
+
+// OnHistoryTrim registers fn to run whenever the engine's history
+// retention floor advances (see trimHistory): fn receives the oldest
+// version that is still materializable, so a persistence layer can
+// compact its history sidecar in step with the in-memory log. Call it
+// once, before the stream starts publishing.
+func (e *Engine) OnHistoryTrim(fn func(below uint64)) {
+	e.hist.mu.Lock()
+	e.hist.onTrim = fn
+	e.hist.mu.Unlock()
+}
+
+// trimHistory drops log records below the oldest version whose full
+// factors are still recoverable — no version below that floor can ever
+// be materialized again (its chain has no reachable base), so its
+// records are dead weight. Called whenever retention advances: base
+// pins (HistoryHook) and spill-bound deletions (enforceSpillBound).
+func (e *Engine) trimHistory() {
+	if !e.historyEnabled() {
+		return
+	}
+	floor, ok := e.historyFloor()
+	if !ok {
+		return
+	}
+	e.hist.log.TrimBelow(floor)
+	e.hist.mu.Lock()
+	fn := e.hist.onTrim
+	e.hist.mu.Unlock()
+	if fn != nil {
+		fn(floor)
+	}
+}
+
+// historyFloor returns the oldest retained base version: the smallest
+// index pinned in RAM, pending spill, or spilled on disk. Versions
+// below it are unanswerable.
+func (e *Engine) historyFloor() (uint64, bool) {
+	oldest := -1
+	e.mu.RLock()
+	for _, idx := range e.pinned {
+		if idx >= 0 && (oldest < 0 || idx < oldest) {
+			oldest = idx
+		}
+	}
+	e.mu.RUnlock()
+	if e.spillEnabled() {
+		e.spillMu.Lock()
+		for idx := range e.spilled {
+			if idx >= 0 && (oldest < 0 || idx < oldest) {
+				oldest = idx
+			}
+		}
+		for idx := range e.spillPending {
+			if idx >= 0 && (oldest < 0 || idx < oldest) {
+				oldest = idx
+			}
+		}
+		e.spillMu.Unlock()
+	}
+	if oldest < 0 {
+		return 0, false
+	}
+	return uint64(oldest), true
 }
 
 // SeedHistory replays persisted history records into the log — the
@@ -218,6 +299,13 @@ func (e *Engine) resolveHistory(t *task, snap int) (routed bool, err error) {
 		return true, nil
 	}
 	h.mu.Unlock()
+	if e.isRetainedBase(v) {
+		// The version's own full factors are recoverable (spilled or
+		// mid-spill): fall through to resolve's spill-reload path, which
+		// reloads and re-pins them directly — cheaper than a clone +
+		// replay from an earlier base, and it restores RAM residency.
+		return false, nil
+	}
 	if _, ok := e.findHistoryBase(v); !ok {
 		return false, nil
 	}
@@ -256,7 +344,7 @@ func (e *Engine) serveHistGroup(group []*task, w *workerScratch) {
 // historySolver returns the materialized solver for version v: LRU
 // hit, join of an in-flight replay, or a fresh materialization
 // installed into the LRU.
-func (e *Engine) historySolver(v uint64) (*lu.Solver, error) {
+func (e *Engine) historySolver(v uint64) (s *lu.Solver, err error) {
 	h := e.hist
 	h.mu.Lock()
 	if r, ok := h.residents[v]; ok {
@@ -274,24 +362,35 @@ func (e *Engine) historySolver(v uint64) (*lu.Solver, error) {
 	h.inflight[v] = fl
 	h.mu.Unlock()
 
-	s, err := e.materialize(v)
-
-	h.mu.Lock()
-	delete(h.inflight, v)
-	if err == nil {
-		h.installLocked(v, s)
-	}
-	h.mu.Unlock()
-	fl.s, fl.err = s, err
-	close(fl.done)
+	// The flight entry is removed and done closed on every exit —
+	// including a panic inside the replay — so a failed materialization
+	// can never wedge the version's single-flight: waiters always get
+	// an answer or an error, and the next query retries fresh.
+	defer func() {
+		if r := recover(); r != nil {
+			s, err = nil, fmt.Errorf("serve: materializing version %d: panic: %v", v, r)
+		}
+		h.mu.Lock()
+		delete(h.inflight, v)
+		if err == nil && s != nil {
+			h.installLocked(v, s)
+		}
+		h.mu.Unlock()
+		fl.s, fl.err = s, err
+		close(fl.done)
+	}()
+	s, err = e.materialize(v)
 	return s, err
 }
 
 // materialize replays version v from its nearest retained base into a
-// recycled container. The base is read from the snapshot store, or
+// fresh container. The base is read from the snapshot store, or
 // transparently reloaded from spill and re-pinned — the spill+history
 // interaction contract: evicting a base never strands its dependent
-// delta chain while the spill file exists.
+// delta chain while the spill file exists. The container is always
+// newly allocated (never an evicted resident's — see histState): once
+// returned it is immutable, so solvers bound to it stay valid for as
+// long as any task holds them.
 func (e *Engine) materialize(v uint64) (*lu.Solver, error) {
 	b, ok := e.findHistoryBase(v)
 	if !ok {
@@ -302,22 +401,14 @@ func (e *Engine) materialize(v uint64) (*lu.Solver, error) {
 		return nil, err
 	}
 	h := e.hist
-	h.mu.Lock()
-	var dst lu.Factors
-	if k := len(h.free); k > 0 {
-		dst, h.free = h.free[k-1], h.free[:k-1]
-	}
-	h.mu.Unlock()
-
-	h.matMu.Lock()
-	f, merr := h.mw.MaterializeInto(dst, base.F, h.log, b, v, nil)
-	h.matMu.Unlock()
+	f, merr := func() (lu.Factors, error) {
+		h.matMu.Lock()
+		// Unlock via defer: a panicking replay (surfaced to the query as
+		// an error by historySolver) must not leave the workspace locked.
+		defer h.matMu.Unlock()
+		return h.mw.MaterializeInto(nil, base.F, h.log, b, v, nil)
+	}()
 	if merr != nil {
-		if dst != nil {
-			h.mu.Lock()
-			h.free = append(h.free, dst)
-			h.mu.Unlock()
-		}
 		return nil, fmt.Errorf("serve: materializing version %d from base %d: %w", v, b, merr)
 	}
 	h.materializations.Add(1)
@@ -358,9 +449,10 @@ func (h *histState) touchLocked(v uint64) {
 
 // installLocked adds a materialized solver to the LRU and evicts past
 // the byte budget (never the entry just installed: one oversized
-// resident is better than thrashing). Evicted containers feed the
-// free pool so the next materialization reuses their arrays. Callers
-// hold h.mu.
+// resident is better than thrashing). Eviction only drops the LRU's
+// reference — the container is NOT recycled, because tasks that bound
+// the resident's solver at resolve time may still be queued or solving
+// against it; the GC reclaims it once they finish. Callers hold h.mu.
 func (h *histState) installLocked(v uint64, s *lu.Solver) {
 	if _, ok := h.residents[v]; ok {
 		return // lost a (theoretical) race; keep the first
@@ -379,9 +471,6 @@ func (h *histState) installLocked(v uint64, s *lu.Solver) {
 		delete(h.residents, old)
 		h.bytes -= r.bytes
 		h.evictions.Add(1)
-		if len(h.free) < 2 {
-			h.free = append(h.free, r.s.F)
-		}
 	}
 }
 

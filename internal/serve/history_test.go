@@ -2,13 +2,18 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/bennett"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lu"
+	"repro/internal/measures"
+	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
 
@@ -304,6 +309,195 @@ func TestHistoryVersionsListing(t *testing.T) {
 		if in.Version == target && in.State != "resident" {
 			t.Errorf("version %d still %q after materialization, want resident", target, in.State)
 		}
+	}
+}
+
+// TestHistoryEvictedResidentStaysValid is the use-after-evict
+// regression: a solver bound to a task (or handed to a caller) while
+// resident must keep its factors intact after the LRU evicts it —
+// eviction may only drop the reference, never recycle the container's
+// backing arrays into a later materialization. Under the old free-pool
+// recycling this failed deterministically: the third materialization
+// below overwrote the held solver's arrays mid-use.
+func TestHistoryEvictedResidentStaysValid(t *testing.T) {
+	eng := New(Config{Workers: 1, HistoryBase: 8, HistoryBudgetBytes: 1, Damping: testDamping})
+	defer eng.Close()
+	ref, last := historyStream(t, core.CLUDE, eng, 16)
+
+	pinned := make(map[int]bool)
+	for _, s := range eng.Snapshots() {
+		pinned[s] = true
+	}
+	var vs []uint64
+	for v := uint64(1); v <= last && len(vs) < 3; v++ {
+		if pinned[int(v)] {
+			continue
+		}
+		if _, ok := eng.findHistoryBase(v); ok {
+			vs = append(vs, v)
+		}
+	}
+	if len(vs) < 3 {
+		t.Fatalf("only %d materializable versions; test needs 3", len(vs))
+	}
+
+	held, err := eng.historySolver(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 1-byte budget makes every install evict its predecessor, so
+	// vs[0] is evicted by vs[1]'s install, and vs[2]'s replay is the one
+	// that would have scribbled over a recycled container.
+	for _, v := range vs[1:] {
+		if _, err := eng.historySolver(v); err != nil {
+			t.Fatalf("version %d: %v", v, err)
+		}
+	}
+
+	q := Query{Snapshot: int(vs[0]), Measure: MeasureRWR, Source: 5}
+	var ws lu.SolveWorkspace
+	got := measures.NewSolverEngine(testDamping, held).RWRWith(q.Source, &ws)
+	_, want := coldAnswer(q, ref[vs[0]])
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("version %d: held solver corrupted after eviction (factors recycled under an in-flight reference)", vs[0])
+	}
+}
+
+// TestHistoryLogTrimsWithBaseRetention is the unbounded-growth
+// regression: the record log must shed versions below the oldest
+// retained base (they have no reachable base and can never be
+// materialized again) instead of growing with the stream.
+func TestHistoryLogTrimsWithBaseRetention(t *testing.T) {
+	eng := New(Config{Workers: 1, HistoryBase: 4, MaxSnapshots: 2, Damping: testDamping})
+	defer eng.Close()
+	// The floor hook (cludeserve wires store.TrimHistory here) must see
+	// every advance; the last reported floor is the log's final bound.
+	var floorMu sync.Mutex
+	floor := uint64(0)
+	eng.OnHistoryTrim(func(below uint64) {
+		floorMu.Lock()
+		if below > floor {
+			floor = below
+		}
+		floorMu.Unlock()
+	})
+	_, last := historyStream(t, core.CLUDE, eng, 32)
+
+	lo, hi, ok := eng.HistoryLog().Bounds()
+	if !ok {
+		t.Fatal("empty history log")
+	}
+	oldest := -1
+	for _, s := range eng.Snapshots() {
+		if oldest < 0 || s < oldest {
+			oldest = s
+		}
+	}
+	if oldest < 0 {
+		t.Fatal("no pinned bases")
+	}
+	if lo != uint64(oldest) {
+		t.Errorf("log floor %d, oldest retained base %d: records below the floor are dead weight", lo, oldest)
+	}
+	if lo == 0 {
+		t.Error("log never trimmed despite base evictions")
+	}
+	if hi != last {
+		t.Errorf("log newest %d, want %d", hi, last)
+	}
+	floorMu.Lock()
+	reported := floor
+	floorMu.Unlock()
+	if reported != lo {
+		t.Errorf("trim hook last reported floor %d, log floor %d: the store would compact to the wrong bound", reported, lo)
+	}
+	// Everything below the floor is unanswerable — and says so.
+	if lo > 1 {
+		_, err := eng.Query(context.Background(), Query{Snapshot: int(lo) - 1, Measure: MeasureRWR, Source: 1})
+		if !errors.Is(err, ErrUnknownSnapshot) {
+			t.Errorf("version %d below the floor: got %v, want ErrUnknownSnapshot", lo-1, err)
+		}
+	}
+}
+
+// TestHistoryPanickedReplayReleasesFlight is the wedged-single-flight
+// regression: a materialization that panics (here: a poisoned record
+// whose term indexes out of range) must surface as a query error and
+// release the per-version flight, so later queries for the version
+// retry instead of blocking forever on a never-closed done channel.
+func TestHistoryPanickedReplayReleasesFlight(t *testing.T) {
+	eng, _, _ := pinnedEngine(t, Config{Workers: 1, HistoryBase: 4})
+	defer eng.Close()
+	eng.HistoryLog().Record(bennett.VersionRecord{Version: 9})
+	eng.HistoryLog().Record(bennett.VersionRecord{Version: 10, Terms: []bennett.Rank1Term{
+		{Key: 0, W: []sparse.Entry{{Row: -1, Val: 1}}}, // out of range: replay panics
+	}})
+
+	for attempt := 0; attempt < 2; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, err := eng.Query(ctx, Query{Snapshot: 10, Measure: MeasureRWR, Source: 1})
+		cancel()
+		if err == nil {
+			t.Fatalf("attempt %d: poisoned replay answered successfully", attempt)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("attempt %d: query wedged on the version's single-flight", attempt)
+		}
+	}
+}
+
+// TestHistorySpilledVersionDirectReload checks that a version whose own
+// full factors are recoverable from spill is served by direct reload
+// (re-pinning it), not by cloning an earlier base and replaying deltas
+// under the serialized materialization lock.
+func TestHistorySpilledVersionDirectReload(t *testing.T) {
+	dir := t.TempDir()
+	eng := New(Config{Workers: 1, HistoryBase: 4, MaxSnapshots: 2, SpillDir: dir, Damping: testDamping})
+	defer eng.Close()
+	ref, last := historyStream(t, core.CLUDE, eng, 24)
+	waitSpilled(t, eng, 1)
+
+	pinned := make(map[int]bool)
+	for _, s := range eng.Snapshots() {
+		pinned[s] = true
+	}
+	target := uint64(0)
+	for v := uint64(1); v <= last; v++ {
+		if !pinned[int(v)] && eng.isRetainedBase(v) {
+			target = v
+			break
+		}
+	}
+	if target == 0 {
+		t.Skip("no evicted-but-spilled base; bump batches to provoke eviction")
+	}
+
+	before := eng.Stats()
+	q := Query{Snapshot: int(target), Measure: MeasureRWR, Source: 7}
+	resp, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("spilled version %d: %v", target, err)
+	}
+	_, want := coldAnswer(q, ref[target])
+	if !reflect.DeepEqual(want, resp.Scores) {
+		t.Errorf("version %d: reloaded answer differs from cold solve", target)
+	}
+	after := eng.Stats()
+	if after.HistoryMaterializations != before.HistoryMaterializations {
+		t.Errorf("spilled version served by delta replay (materializations %d -> %d), want direct reload",
+			before.HistoryMaterializations, after.HistoryMaterializations)
+	}
+	if after.SpillReloads == before.SpillReloads {
+		t.Error("no spill reload recorded for the version's own factors")
+	}
+	repinned := false
+	for _, s := range eng.Snapshots() {
+		if s == int(target) {
+			repinned = true
+		}
+	}
+	if !repinned {
+		t.Errorf("version %d not re-pinned after reload", target)
 	}
 }
 

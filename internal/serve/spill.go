@@ -139,17 +139,19 @@ func (e *Engine) drainSpills() {
 
 // enforceSpillBound deletes the oldest (lowest-index) spill files past
 // the retention bound, so version-keyed checkpoint history cannot grow
-// the directory without limit.
+// the directory without limit. Deleting a file can retire history
+// bases, so the delta-record log is re-trimmed afterwards.
 func (e *Engine) enforceSpillBound() {
 	keep := e.cfg.SpillKeep
 	if keep <= 0 {
 		keep = defaultSpillKeep
 	}
+	removed := false
 	for {
 		e.spillMu.Lock()
 		if len(e.spilled) <= keep {
 			e.spillMu.Unlock()
-			return
+			break
 		}
 		oldest := -1
 		for idx := range e.spilled {
@@ -160,6 +162,10 @@ func (e *Engine) enforceSpillBound() {
 		delete(e.spilled, oldest)
 		e.spillMu.Unlock()
 		os.Remove(e.spillPath(oldest))
+		removed = true
+	}
+	if removed {
+		e.trimHistory()
 	}
 }
 

@@ -9,20 +9,26 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/bennett"
 	"repro/internal/sparse"
 )
 
-// History sidecar: an append-only file of bennett.VersionRecord frames
-// (magic CLUH), one per published version, feeding the serving layer's
-// delta-compressed history across restarts. The file is a cache of
-// information the WAL can mostly regenerate — losing its tail only
-// shrinks the set of materializable old versions, never correctness —
-// so records are buffered-write, fsynced on Close, and each carries its
-// own CRC: the reader stops at the first torn or corrupt frame exactly
-// like the WAL's torn-tail model.
+// History sidecar: a file of bennett.VersionRecord frames (magic CLUH),
+// one per published version, feeding the serving layer's
+// delta-compressed history across restarts. Writes are append-only;
+// retention is by compaction (SetFloor + MaybeCompact): when the
+// serving layer's retention floor advances past enough of the file, it
+// is atomically rewritten without the dead records, so the sidecar
+// stays proportional to the materializable window instead of the
+// stream's lifetime. The file is a cache of information the WAL can
+// mostly regenerate — losing its tail only shrinks the set of
+// materializable old versions, never correctness — so records are
+// buffered-write, fsynced on Close, and each carries its own CRC: the
+// reader stops at the first torn or corrupt frame exactly like the
+// WAL's torn-tail model.
 //
 // Frame layout after the 5-byte file prologue ("CLUH" + version byte):
 //
@@ -40,17 +46,26 @@ const (
 	maxHistoryFrame = 1 << 28
 )
 
-// HistoryFile is the open sidecar: scan-once on open, append-only
-// afterwards. Safe for concurrent Append (the publish hook may race a
-// WAL-replay hook only in pathological wirings, but the lock is cheap).
+// HistoryFile is the open sidecar: scan-once on open, then append-only
+// between compactions. Safe for concurrent Append (the publish hook may
+// race a WAL-replay hook only in pathological wirings, but the lock is
+// cheap). The serving layer's retention floor arrives via SetFloor;
+// MaybeCompact (run at the store's snapshot cadence, off the publish
+// path) rewrites the file without the records below it, so the sidecar
+// tracks the set of still-materializable versions instead of growing
+// append-only forever.
 type HistoryFile struct {
-	mu      sync.Mutex
-	f       *os.File
-	lastVer uint64
-	has     bool
-	records int64
-	bytes   int64
-	loaded  []bennett.VersionRecord
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	firstVer uint64 // oldest record version in the file
+	lastVer  uint64
+	has      bool
+	floor    uint64 // requested trim floor (SetFloor)
+	records  int64
+	bytes    int64
+	compacts int64
+	loaded   []bennett.VersionRecord
 }
 
 // OpenHistory opens (or creates) the history sidecar at path, scans
@@ -62,7 +77,7 @@ func OpenHistory(path string) (*HistoryFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &HistoryFile{f: f}
+	h := &HistoryFile{f: f, path: path}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -115,6 +130,9 @@ func OpenHistory(path string) (*HistoryFile, error) {
 		cr.n = 0
 		good = pos
 		h.loaded = append(h.loaded, rec)
+		if !h.has {
+			h.firstVer = rec.Version
+		}
 		h.lastVer, h.has = rec.Version, true
 		h.records++
 	}
@@ -184,9 +202,146 @@ func (h *HistoryFile) Append(rec bennett.VersionRecord) error {
 	if _, err := h.f.Write(tail[:]); err != nil {
 		return err
 	}
+	if !h.has || h.records == 0 {
+		h.firstVer = rec.Version
+	}
 	h.lastVer, h.has = rec.Version, true
 	h.records++
 	h.bytes += int64(n) + int64(payload.Len()) + 4
+	return nil
+}
+
+// SetFloor records the serving layer's history retention floor: records
+// for versions below it can never be replayed again (their base is
+// gone) and are eligible for compaction. Cheap and non-blocking — safe
+// to call from the publish path; the rewrite itself happens in
+// MaybeCompact.
+func (h *HistoryFile) SetFloor(below uint64) {
+	h.mu.Lock()
+	if below > h.floor {
+		h.floor = below
+	}
+	h.mu.Unlock()
+}
+
+// MaybeCompact rewrites the sidecar without the records below the
+// current floor, when doing so is worth a file rewrite: at least a
+// quarter of the version span must be droppable. Run it off the
+// publish path (the store calls it from the snapshot cycle).
+func (h *HistoryFile) MaybeCompact() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.f == nil || !h.has || h.records == 0 {
+		return nil
+	}
+	below := h.floor
+	if below <= h.firstVer {
+		return nil
+	}
+	if span := h.lastVer - h.firstVer + 1; (below-h.firstVer)*4 < span {
+		return nil
+	}
+	return h.compactLocked(below)
+}
+
+// CompactBelow unconditionally rewrites the sidecar keeping only
+// records with Version >= below. The rewrite is atomic (temp + rename):
+// a crash mid-compaction leaves the old file intact.
+func (h *HistoryFile) CompactBelow(below uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.f == nil {
+		return fmt.Errorf("store: history file closed")
+	}
+	if !h.has || below <= h.firstVer {
+		return nil
+	}
+	return h.compactLocked(below)
+}
+
+// compactLocked copies every valid frame with Version >= below into a
+// fresh file and renames it over the sidecar, swapping the open handle.
+// Frames are copied verbatim (their CRCs are already valid); only each
+// payload's leading version uvarint is decoded to filter. Callers hold
+// h.mu.
+func (h *HistoryFile) compactLocked(below uint64) error {
+	tmp, err := os.CreateTemp(filepath.Dir(h.path), "history-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append([]byte(historyMagic), historyVersion)); err != nil {
+		tmp.Close()
+		return err
+	}
+	newBytes := int64(len(historyMagic)) + 1
+	var newRecords int64
+	newFirst, newHas := uint64(0), false
+
+	// h.bytes is the end of the last valid frame; everything the file
+	// holds up to it re-verifies here (ReadAt, so the append offset of
+	// h.f is untouched until the swap).
+	br := bufio.NewReader(io.NewSectionReader(h.f, int64(len(historyMagic))+1, h.bytes))
+	cr := &countingReader{r: br}
+	for {
+		n, err := binary.ReadUvarint(cr)
+		if err != nil || n > maxHistoryFrame {
+			break
+		}
+		frame := make([]byte, n+4)
+		if _, err := io.ReadFull(cr, frame); err != nil {
+			break
+		}
+		payload, tail := frame[:n], frame[n:]
+		if binary.LittleEndian.Uint32(tail) != crc32Sum(payload) {
+			break
+		}
+		ver, err := binary.ReadUvarint(bytes.NewReader(payload))
+		if err != nil {
+			break
+		}
+		if ver < below {
+			continue
+		}
+		var hdr [binary.MaxVarintLen64]byte
+		hn := binary.PutUvarint(hdr[:], n)
+		if _, err := tmp.Write(hdr[:hn]); err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			return err
+		}
+		newBytes += int64(hn) + int64(len(frame))
+		if !newHas {
+			newFirst, newHas = ver, true
+		}
+		newRecords++
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmp.Name(), h.path); err != nil {
+		tmp.Close()
+		return err
+	}
+	// The renamed handle IS the sidecar now; its offset already sits at
+	// the end of the kept frames, ready for appends.
+	h.f.Close()
+	h.f = tmp
+	h.records = newRecords
+	h.bytes = newBytes
+	h.compacts++
+	if newHas {
+		h.firstVer = newFirst
+	} else {
+		// Everything dropped. Keep lastVer/has: the append-time
+		// idempotency guard must keep absorbing WAL-replay re-fires of
+		// versions the file has already seen.
+		h.firstVer = h.lastVer + 1
+	}
 	return nil
 }
 
@@ -200,11 +355,18 @@ func (h *HistoryFile) LoadHistory() []bennett.VersionRecord {
 	return out
 }
 
-// Counters returns the record and byte totals (scanned + appended).
+// Counters returns the live record and byte totals (post-compaction).
 func (h *HistoryFile) Counters() (records, bytes int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.records, h.bytes
+}
+
+// Compactions returns how many sidecar rewrites have run.
+func (h *HistoryFile) Compactions() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.compacts
 }
 
 // Close fsyncs and closes the sidecar.

@@ -114,6 +114,104 @@ func TestHistoryFileAppendScan(t *testing.T) {
 	}
 }
 
+// TestHistoryFileCompaction is the sidecar-retention regression: the
+// file must shrink when the serving layer's floor passes dead records,
+// keep exactly the live suffix (bit-identical across a reopen), and
+// keep accepting appends afterwards.
+func TestHistoryFileCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.cluh")
+	rng := xrand.New(42)
+	recs := randomRecords(rng, 100)
+
+	h, err := OpenHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := h.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, bytesBefore := h.Counters()
+
+	h.SetFloor(60)
+	if err := h.MaybeCompact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Compactions(); got != 1 {
+		t.Fatalf("compactions = %d, want 1", got)
+	}
+	nRecs, bytesAfter := h.Counters()
+	if nRecs != 40 {
+		t.Errorf("records after compaction = %d, want 40", nRecs)
+	}
+	if bytesAfter >= bytesBefore {
+		t.Errorf("compaction did not shrink the file: %d -> %d bytes", bytesBefore, bytesAfter)
+	}
+
+	// Appends keep working on the swapped handle, and the idempotency
+	// guard still covers versions the file has seen.
+	if err := h.Append(recs[99]); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := h.Counters(); n != 40 {
+		t.Errorf("re-append of a seen version grew records to %d", n)
+	}
+	extra := bennett.VersionRecord{Version: 100, Terms: []bennett.Rank1Term{{Key: 3, W: []sparse.Entry{{Row: 7, Val: 0.5}}}}}
+	if err := h.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := OpenHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	want := append(append([]bennett.VersionRecord(nil), recs[60:]...), extra)
+	got := h2.LoadHistory()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("reopened file holds %d records, want the %d live ones", len(got), len(want))
+	}
+}
+
+// TestHistoryFileCompactionPolicy checks MaybeCompact's trigger: a
+// floor covering less than a quarter of the version span is not worth
+// a rewrite; one past it is.
+func TestHistoryFileCompactionPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.cluh")
+	rng := xrand.New(7)
+	h, err := OpenHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for _, rec := range randomRecords(rng, 100) {
+		if err := h.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h.SetFloor(10) // 10% droppable: not worth a rewrite
+	if err := h.MaybeCompact(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := h.Counters(); n != 100 || h.Compactions() != 0 {
+		t.Errorf("small floor triggered a rewrite: records=%d compactions=%d", n, h.Compactions())
+	}
+
+	h.SetFloor(5) // floors never regress
+	h.SetFloor(25)
+	if err := h.MaybeCompact(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := h.Counters(); n != 75 || h.Compactions() != 1 {
+		t.Errorf("quarter floor: records=%d compactions=%d, want 75/1", n, h.Compactions())
+	}
+}
+
 // TestHistoryFileTornTail truncates the file mid-frame at every byte
 // boundary of the final record and expects the scan to keep every
 // complete predecessor, truncate the tail, and accept new appends.

@@ -94,6 +94,7 @@ type StoreStats struct {
 	HistoryRecords      int64        `json:"history_records,omitempty"`
 	HistoryBytes        int64        `json:"history_bytes,omitempty"`
 	HistoryErrors       int64        `json:"history_errors,omitempty"`
+	HistoryCompactions  int64        `json:"history_compactions,omitempty"`
 	Recovery            RecoveryInfo `json:"recovery"`
 }
 
@@ -170,6 +171,18 @@ func (st *Store) LoadHistory() []bennett.VersionRecord {
 
 // Dir returns the store's data directory.
 func (st *Store) Dir() string { return st.dir }
+
+// TrimHistory records the serving layer's history retention floor (see
+// serve.Engine.OnHistoryTrim): sidecar records below it can never be
+// replayed again. Non-blocking — it only stores the floor; the actual
+// rewrite runs with the snapshot cycle, off the publish path. No-op
+// without Options.History.
+func (st *Store) TrimHistory(below uint64) {
+	if st.hist == nil {
+		return
+	}
+	st.hist.SetFloor(below)
+}
 
 // LogBatch is the core.StreamConfig.LogBatch hook: it appends the
 // batch to the WAL, durable per the sync policy, before the stream
@@ -414,7 +427,21 @@ func (st *Store) Snapshot() error {
 		}
 		snaps = snaps[len(snaps)-st.opt.KeepSnapshots:]
 	}
-	return st.wal.TruncateThrough(snaps[0].seq)
+	if err := st.wal.TruncateThrough(snaps[0].seq); err != nil {
+		return err
+	}
+	// Sidecar retention rides the same cycle: compact the history file
+	// down to the serving layer's floor (TrimHistory) when enough of it
+	// is dead. A failed compaction is counted, not fatal — the old file
+	// keeps working.
+	if st.hist != nil {
+		if err := st.hist.MaybeCompact(); err != nil {
+			st.mu.Lock()
+			st.histErrors++
+			st.mu.Unlock()
+		}
+	}
+	return nil
 }
 
 type snapRef struct {
@@ -477,9 +504,10 @@ func (st *Store) loadLatestState() (*core.StreamState, int, error) {
 // Stats returns a snapshot of the store's counters.
 func (st *Store) Stats() StoreStats {
 	walRecords, walBytes, walSegs, fsyncs := st.wal.counters()
-	var histRecs, histBytes int64
+	var histRecs, histBytes, histCompacts int64
 	if st.hist != nil {
 		histRecs, histBytes = st.hist.Counters()
+		histCompacts = st.hist.Compactions()
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -487,6 +515,7 @@ func (st *Store) Stats() StoreStats {
 		HistoryRecords:      histRecs,
 		HistoryBytes:        histBytes,
 		HistoryErrors:       st.histErrors,
+		HistoryCompactions:  histCompacts,
 		Dir:                 st.dir,
 		Sync:                st.opt.Sync.String(),
 		WALRecords:          walRecords,
