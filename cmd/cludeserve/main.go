@@ -49,7 +49,18 @@
 // including per-stage latency histograms of the query pipeline
 // (resolve/coalesce/admit/batch/solve) and — in streaming mode — the
 // ingest (validate/log/apply/publish) and durability
-// (wal_append/snapshot) pipelines.
+// (wal_append/snapshot/compaction) pipelines, plus the Go runtime
+// series (goroutines, heap, GC pauses, build info).
+//
+// Request-scoped tracing (docs/OBSERVABILITY.md) is on by default:
+// every query gets a W3C-traceparent-compatible trace threaded through
+// the whole pipeline, and tail-based retention keeps errors, queries
+// slower than -slow-query-ms, and a -trace-sample fraction of the rest
+// in a -trace-buffer ring served at /v1/traces and /v1/traces/{id}.
+// Slow traces additionally emit a rate-limited WARN log line carrying
+// the trace id. -debug-addr starts a second, private listener with
+// pprof and expvar; it never shares the public mux. -log-format=json
+// switches the structured log to JSON.
 //
 // The query path is the admission-controlled pipeline of
 // docs/SERVING.md: identical concurrent queries coalesce into one
@@ -67,14 +78,17 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -86,7 +100,12 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
+
+// version identifies the build in clude_build_info and the startup
+// log line; override with -ldflags "-X main.version=v1.2.3".
+var version = "dev"
 
 func main() {
 	var (
@@ -114,8 +133,23 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durability directory: WAL + factor snapshots (streaming), snapshot spill (both modes); empty = memory only")
 		fsyncMode = flag.String("fsync", "always", "WAL fsync policy: always | none")
 		snapEvery = flag.Uint64("snapshot-every", 32, "streaming: background factor snapshot every k versions")
+
+		traceBuf    = flag.Int("trace-buffer", 256, "retained-trace ring size; 0 disables tracing entirely")
+		slowQueryMS = flag.Int("slow-query-ms", 20, "retain (and rate-limitedly log) every trace at least this slow; 0 disables slow retention")
+		traceSample = flag.Float64("trace-sample", 0.001, "fraction of healthy, fast traces to retain anyway [0,1]")
+		debugAddr   = flag.String("debug-addr", "", "opt-in debug listener (pprof + expvar), kept off the public mux; empty = disabled")
+		logFormat   = flag.String("log-format", "text", "log output format: text | json")
 	)
 	flag.Parse()
+
+	switch *logFormat {
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	case "text":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	default:
+		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
 
 	d, err := bench.DatasetsFor(bench.Scale(*scale))
 	if err != nil {
@@ -130,6 +164,19 @@ func main() {
 	// re-register their live counters into it (api.New), and the stage
 	// hooks below feed its histograms directly.
 	reg := metrics.NewRegistry()
+	metrics.RegisterRuntime(reg, version)
+
+	// One tracer serves every pipeline; nil (with -trace-buffer 0)
+	// keeps each of them on the untraced fast path.
+	var tracer *trace.Tracer
+	if *traceBuf > 0 {
+		tracer = trace.New(trace.Config{
+			Buffer:   *traceBuf,
+			Slow:     time.Duration(*slowQueryMS) * time.Millisecond,
+			Sample:   *traceSample,
+			OnRetain: slowQueryLogger(time.Second),
+		})
+	}
 
 	scfg := serve.Config{
 		MaxSnapshots:    snapshotBound(*maxSnaps, egs.Len()),
@@ -141,6 +188,7 @@ func main() {
 		BatchMax:        *batchMax,
 		PanelMinWidth:   *panelMinW,
 		QueryTimeout:    *queryTO,
+		Tracer:          tracer,
 	}
 	if *streaming {
 		scfg.HistoryBase = *histBase
@@ -163,7 +211,7 @@ func main() {
 		st, err = store.Open(*dataDir, store.Options{
 			Sync:          policy,
 			SnapshotEvery: *snapEvery,
-			OnStage:       api.StoreStageHook(reg),
+			OnStage:       api.ChainStageHooks(api.StoreStageHook(reg), api.StoreTraceHook(tracer)),
 			History:       *histBase > 0,
 		})
 		if err != nil {
@@ -175,7 +223,7 @@ func main() {
 	var stream *core.Stream
 	var batcher *core.Batcher
 	if *streaming {
-		stream, batcher, err = startStream(eng, st, reg, egs, d.Damping, *algName, *alpha, *batchSize, *flushMS, *checkpoint, *histBase)
+		stream, batcher, err = startStream(eng, st, reg, tracer, egs, d.Damping, *algName, *alpha, *batchSize, *flushMS, *checkpoint, *histBase)
 		if err == nil {
 			// katz queries answer from the live builder's graph.
 			eng.AttachGraphs(api.StreamGraphs(stream))
@@ -195,11 +243,22 @@ func main() {
 		Batcher:  batcher,
 		Store:    st,
 		Registry: reg,
+		Tracer:   tracer,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	if *debugAddr != "" {
+		// The debug listener is its own server on its own mux: pprof
+		// and expvar never appear on the public address.
+		go func() {
+			slog.Info("debug server listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux()); err != nil {
+				slog.Error("debug server", "err", err)
+			}
+		}()
+	}
+	slog.Info("serving", "addr", *addr, "version", version, "tracing", tracer != nil)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -213,34 +272,72 @@ func main() {
 		// First signal: drain. stop() restores default signal handling,
 		// so a second signal force-kills a wedged shutdown.
 		stop()
-		log.Printf("signal received; draining in-flight queries ...")
+		slog.Info("signal received; draining in-flight queries")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("http shutdown: %v", err)
+			slog.Error("http shutdown", "err", err)
 		}
 		<-errCh // ListenAndServe has returned ErrServerClosed
 	}
 
 	// HTTP is quiet; now drain the ingest queue and stop the engines.
 	if batcher != nil {
-		log.Printf("draining ingest queue (%d pending) ...", batcher.Pending())
+		slog.Info("draining ingest queue", "pending", batcher.Pending())
 		if err := batcher.Close(); err != nil {
-			log.Printf("ingest drain: %v", err)
+			slog.Error("ingest drain", "err", err)
 		}
 	}
 	if stream != nil {
-		log.Printf("stream final: %+v", stream.Stats())
+		slog.Info("stream final", "stats", fmt.Sprintf("%+v", stream.Stats()))
 		stream.Close()
 	}
 	if st != nil {
 		// Final checkpoint: a clean restart replays nothing.
 		if err := st.Close(); err != nil {
-			log.Printf("store close: %v", err)
+			slog.Error("store close", "err", err)
 		}
 	}
 	eng.Close()
-	log.Printf("shut down; final stats: %+v", eng.Stats())
+	slog.Info("shut down", "stats", fmt.Sprintf("%+v", eng.Stats()))
+}
+
+// slowQueryLogger builds the tracer's OnRetain consumer: slow-tagged
+// traces become WARN log lines carrying the trace id (the /v1/traces
+// join key), throttled to one line per minInterval so a latency storm
+// cannot drown the log while the ring still retains every trace.
+func slowQueryLogger(minInterval time.Duration) func(*trace.TraceData) {
+	var last atomic.Int64
+	return func(td *trace.TraceData) {
+		if td.Reason != trace.ReasonSlow {
+			return
+		}
+		now := time.Now().UnixNano()
+		prev := last.Load()
+		if now-prev < int64(minInterval) || !last.CompareAndSwap(prev, now) {
+			return
+		}
+		slog.Warn("slow query",
+			"trace_id", td.TraceID,
+			"name", td.Name,
+			"duration_us", td.DurationUS,
+			"spans", len(td.Spans),
+			"attrs", td.Attrs)
+	}
+}
+
+// debugMux is the opt-in diagnostics surface behind -debug-addr:
+// net/http/pprof and expvar, deliberately registered on a private mux
+// so the public API never exposes them.
+func debugMux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	m.Handle("/debug/vars", expvar.Handler())
+	return m
 }
 
 // snapshotBound resolves the -snapshots flag (0 = the whole sequence).
@@ -255,7 +352,7 @@ func snapshotBound(flagVal, seqLen int) int {
 // sequence and pin every snapshot.
 func factorOffline(eng *serve.Engine, egs *graph.EGS, damping, alpha float64, factorW int) error {
 	ems := graph.DeriveEMS(egs, graph.RWRMatrix(damping))
-	log.Printf("factoring %d snapshots (n=%d) with CLUDE alpha=%v ...", ems.Len(), ems.N(), alpha)
+	slog.Info("factoring snapshots", "count", ems.Len(), "n", ems.N(), "alg", "CLUDE", "alpha", alpha)
 	t0 := time.Now()
 	if _, err := core.Run(ems, core.CLUDE, core.Options{
 		Alpha:         alpha,
@@ -265,7 +362,7 @@ func factorOffline(eng *serve.Engine, egs *graph.EGS, damping, alpha float64, fa
 	}); err != nil {
 		return err
 	}
-	log.Printf("pinned %d snapshots in %v", len(eng.Snapshots()), time.Since(t0).Round(time.Millisecond))
+	slog.Info("pinned snapshots", "count", len(eng.Snapshots()), "elapsed", time.Since(t0).Round(time.Millisecond))
 	return nil
 }
 
@@ -275,13 +372,14 @@ func factorOffline(eng *serve.Engine, egs *graph.EGS, damping, alpha float64, fa
 // layer's live source, and return the ingest batcher POST /v1/update
 // feeds. A fatal dataset mismatch aside, a recovered boot serves the
 // exact factors the crashed process last published.
-func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs *graph.EGS, damping float64, algName string, alpha float64, batchSize, flushMS, checkpoint, histBase int) (*core.Stream, *core.Batcher, error) {
+func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, tracer *trace.Tracer, egs *graph.EGS, damping float64, algName string, alpha float64, batchSize, flushMS, checkpoint, histBase int) (*core.Stream, *core.Batcher, error) {
 	cfg := core.StreamConfig{
 		Algorithm: core.Algorithm(strings.ToUpper(algName)),
 		Alpha:     alpha,
 		Initial:   egs.Snapshots[0],
 		Derive:    graph.RWRMatrix(damping),
 		OnStage:   api.IngestStageHook(reg),
+		OnBatch:   api.IngestTraceHook(tracer),
 	}
 	switch {
 	case histBase > 0:
@@ -289,7 +387,7 @@ func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs 
 		// everything between is materialized on demand by replaying the
 		// recorded Bennett deltas. Subsumes -checkpoint.
 		if checkpoint > 0 {
-			log.Printf("-history-base set; ignoring -checkpoint (history pins its own bases)")
+			slog.Warn("-history-base set; ignoring -checkpoint (history pins its own bases)")
 		}
 		if st != nil {
 			// Seed BEFORE OpenStream: WAL replay re-fires OnHistory, and
@@ -315,10 +413,13 @@ func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs 
 			return nil, nil, err
 		}
 		if info.Recovered {
-			log.Printf("warm restart: snapshot v%d + %d WAL batches replayed -> version %d in %v",
-				info.SnapshotVersion, info.ReplayedBatches, info.Version, time.Since(t0).Round(time.Millisecond))
+			slog.Info("warm restart",
+				"snapshot_version", info.SnapshotVersion,
+				"replayed_batches", info.ReplayedBatches,
+				"version", info.Version,
+				"elapsed", time.Since(t0).Round(time.Millisecond))
 		} else {
-			log.Printf("cold start with durability at %s (initial snapshot written)", st.Dir())
+			slog.Info("cold start with durability (initial snapshot written)", "dir", st.Dir())
 		}
 	} else {
 		stream, err = core.NewStream(cfg)
@@ -331,8 +432,10 @@ func startStream(eng *serve.Engine, st *store.Store, reg *metrics.Registry, egs 
 	if histBase > 0 {
 		retention = fmt.Sprintf("history base every %d", histBase)
 	}
-	log.Printf("streaming %s over n=%d (boot %v); ingest batches of %d, linger %dms, %s",
-		cfg.Algorithm, stream.N(), time.Since(t0).Round(time.Millisecond), batchSize, flushMS, retention)
+	slog.Info("streaming",
+		"alg", string(cfg.Algorithm), "n", stream.N(),
+		"boot", time.Since(t0).Round(time.Millisecond),
+		"batch", batchSize, "linger_ms", flushMS, "retention", retention)
 	return stream, stream.NewBatcher(batchSize, time.Duration(flushMS)*time.Millisecond), nil
 }
 

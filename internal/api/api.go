@@ -12,6 +12,8 @@
 //	GET      /v1/stats      JSON counters of every subsystem
 //	GET      /v1/metrics    Prometheus text exposition of the same
 //	GET      /v1/healthz    liveness + mode + versions
+//	GET      /v1/traces     retained traces (tail-based sampling ring)
+//	GET      /v1/traces/{id}  one trace's full span tree
 //
 // Errors are always the envelope {"error":{"code":"...","message":"..."}}
 // with a machine-readable code (bad_request, not_found,
@@ -34,6 +36,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Options wires a Server. Engine is required; the rest are optional
@@ -48,6 +51,10 @@ type Options struct {
 	// that pre-register their own collectors (the ingest/store stage
 	// hooks, typically) pass the registry those live in.
 	Registry *metrics.Registry
+	// Tracer, when non-nil, enables GET /v1/traces and
+	// /v1/traces/{id} and registers the clude_traces_* retention
+	// counters. Nil keeps the routes 404 and costs nothing.
+	Tracer *trace.Tracer
 }
 
 // Server is the HTTP layer. It implements http.Handler.
@@ -77,6 +84,9 @@ func New(opt Options) *Server {
 	if opt.Store != nil {
 		registerStoreMetrics(reg, opt.Store)
 	}
+	if opt.Tracer != nil {
+		registerTraceMetrics(reg, opt.Tracer)
+	}
 
 	route := func(path string, h http.HandlerFunc, methods ...string) {
 		gated := methodGate(h, methods...)
@@ -91,6 +101,8 @@ func New(opt Options) *Server {
 	route("/stats", s.handleStats, http.MethodGet, http.MethodHead)
 	route("/metrics", s.handleMetrics, http.MethodGet, http.MethodHead)
 	route("/healthz", s.handleHealthz, http.MethodGet, http.MethodHead)
+	route("/traces", s.handleTraces, http.MethodGet, http.MethodHead)
+	route("/traces/{id}", s.handleTraceByID, http.MethodGet, http.MethodHead)
 	return s
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // This file is the bridge between the import-clean subsystems and the
@@ -82,12 +83,88 @@ func IngestStageHook(r *metrics.Registry) func(stage string, d time.Duration) {
 }
 
 // StoreStageHook registers the durability layer's stage histograms
-// (clude_store_stage_seconds{stage=wal_append|snapshot}) and returns
-// the store.Options.OnStage hook feeding them.
+// (clude_store_stage_seconds{stage=wal_append|snapshot|compaction})
+// and returns the store.Options.OnStage hook feeding them.
 func StoreStageHook(r *metrics.Registry) func(stage string, d time.Duration) {
 	return stageHook(r, "clude_store_stage_seconds",
-		"Per-stage durations of the durability layer: wal_append (durable log write), snapshot (checkpoint export + write).",
-		[]string{"wal_append", "snapshot"})
+		"Per-stage durations of the durability layer: wal_append (durable log write), snapshot (checkpoint export + write), compaction (history sidecar rewrite, nested inside snapshot).",
+		[]string{"wal_append", "snapshot", "compaction"})
+}
+
+// ChainStageHooks fans one OnStage callback out to every non-nil
+// consumer, so histograms and trace synthesis can share the single
+// hook slot core and store each expose.
+func ChainStageHooks(hooks ...func(string, time.Duration)) func(string, time.Duration) {
+	live := hooks[:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return func(stage string, d time.Duration) {
+		for _, h := range live {
+			h(stage, d)
+		}
+	}
+}
+
+// IngestTraceHook returns a core.StreamConfig.OnBatch consumer that
+// synthesizes one trace per consumed batch: the root is backdated to
+// the batch's start (so slow-threshold retention judges the real
+// commit latency), the validate/log/apply/publish stages become
+// contiguous child spans, and failed batches finish with the error so
+// tail-based retention always keeps them. Returns nil for a nil
+// tracer, which core treats as no hook at all.
+func IngestTraceHook(tc *trace.Tracer) func(core.BatchTrace) {
+	if tc == nil {
+		return nil
+	}
+	return func(bt core.BatchTrace) {
+		tr := tc.StartAt("ingest", trace.SpanContext{}, bt.Start)
+		root := tr.Root()
+		root.SetInt("seq", int64(bt.Seq))
+		root.SetInt("version", int64(bt.Version))
+		root.SetInt("events", int64(bt.Events))
+		root.SetInt("applied", int64(bt.Applied))
+		root.SetBool("structural", bt.Structural)
+		at := bt.Start
+		for _, s := range bt.Stages {
+			if s.Name == "" {
+				break
+			}
+			tr.Record(s.Name, at, s.D)
+			at = at.Add(s.D)
+		}
+		tr.Finish(bt.Err)
+	}
+}
+
+// StoreTraceHook returns a store.Options.OnStage consumer that
+// synthesizes traces for the store's slow, infrequent stages —
+// snapshot and compaction. wal_append fires on every committed batch
+// and is already covered span-by-span inside the ingest trace's log
+// stage, so it only feeds histograms, never the trace ring. Chain
+// this with StoreStageHook via ChainStageHooks.
+func StoreTraceHook(tc *trace.Tracer) func(stage string, d time.Duration) {
+	if tc == nil {
+		return nil
+	}
+	return func(stage string, d time.Duration) {
+		var name string
+		switch stage {
+		case "snapshot":
+			name = "store.snapshot"
+		case "compaction":
+			name = "store.compaction"
+		default:
+			return
+		}
+		tr := tc.StartAt(name, trace.SpanContext{}, time.Now().Add(-d))
+		tr.Finish(nil)
+	}
 }
 
 func stageHook(r *metrics.Registry, name, help string, stages []string) func(string, time.Duration) {

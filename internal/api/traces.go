@@ -1,0 +1,128 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Trace inspection routes. GET /v1/traces lists retained traces
+// (newest first) with the tracer's retention counters and the serving
+// engine's latency exemplars — every exemplar's trace_id resolves via
+// GET /v1/traces/{id}, which returns the full span tree. The ring only
+// retains what tail-based sampling kept (errors, slow traces, and the
+// sampled remainder), so the listing is a diagnostic window, not an
+// access log.
+
+// traceParams is the closed parameter set of GET /v1/traces, enforced
+// like /v1/query's: a typo answers a different question than asked.
+var traceParams = map[string]bool{
+	"min_ms": true, "error": true, "limit": true,
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tc := s.opt.Tracer
+	if tc == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing disabled (run with -trace-buffer > 0)"))
+		return
+	}
+	var f trace.Filter
+	v := r.URL.Query()
+	for key, vals := range v {
+		if !traceParams[key] {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown query parameter %q", key))
+			return
+		}
+		if len(vals) > 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter %q given %d times", key, len(vals)))
+			return
+		}
+	}
+	if ms := v.Get("min_ms"); ms != "" {
+		n, err := strconv.ParseFloat(ms, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", ms))
+			return
+		}
+		f.MinDuration = time.Duration(n * float64(time.Millisecond))
+	}
+	if e := v.Get("error"); e != "" {
+		b, err := strconv.ParseBool(e)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad error %q", e))
+			return
+		}
+		f.ErrorsOnly = b
+	}
+	f.Limit = 100
+	if l := v.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+			return
+		}
+		f.Limit = n
+	}
+	traces := tc.Recent(f)
+	if traces == nil {
+		traces = []*trace.TraceData{}
+	}
+	out := map[string]interface{}{
+		"traces":            traces,
+		"stats":             tc.Stats(),
+		"slow_threshold_ms": float64(tc.SlowThreshold()) / float64(time.Millisecond),
+	}
+	if exs := s.opt.Engine.LatencyExemplars(); len(exs) > 0 {
+		out["latency_exemplars"] = exs
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	tc := s.opt.Tracer
+	if tc == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing disabled (run with -trace-buffer > 0)"))
+		return
+	}
+	id := r.PathValue("id")
+	td, ok := tc.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("trace %q not retained (evicted from the ring, or never kept by tail sampling)", id))
+		return
+	}
+	writeJSON(w, td)
+}
+
+// registerTraceMetrics exposes the tracer's retention counters so the
+// cost and selectivity of tail-based sampling are scrapeable.
+func registerTraceMetrics(r *metrics.Registry, tc *trace.Tracer) {
+	cf := func(name, help string, read func(trace.Stats) float64) {
+		r.CounterFunc(name, help, nil, func() float64 { return read(tc.Stats()) })
+	}
+	cf("clude_traces_started_total", "Traces started (every traced request, retained or not).",
+		func(st trace.Stats) float64 { return float64(st.Started) })
+	cf("clude_traces_retained_total", "Traces kept by tail-based retention.",
+		func(st trace.Stats) float64 { return float64(st.Retained) })
+	for _, rc := range []struct {
+		reason string
+		read   func(trace.Stats) float64
+	}{
+		{"error", func(st trace.Stats) float64 { return float64(st.RetainedError) }},
+		{"slow", func(st trace.Stats) float64 { return float64(st.RetainedSlow) }},
+		{"sampled", func(st trace.Stats) float64 { return float64(st.RetainedSampled) }},
+	} {
+		read := rc.read
+		r.CounterFunc("clude_traces_retained_reason_total",
+			"Traces kept by tail-based retention, by reason.",
+			metrics.Labels{"reason": rc.reason},
+			func() float64 { return read(tc.Stats()) })
+	}
+	r.GaugeFunc("clude_traces_buffered", "Traces currently held in the retention ring.", nil,
+		func() float64 { return float64(tc.Stats().Buffered) })
+}

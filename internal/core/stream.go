@@ -106,6 +106,47 @@ type StreamConfig struct {
 	// intended use is feeding metrics histograms. The hook keeps this
 	// package import-clean of any metrics implementation.
 	OnStage func(stage string, d time.Duration)
+	// OnBatch, when non-nil, receives one BatchTrace per consumed
+	// batch — successes after publish, failures on their error path —
+	// so a tracing layer can reconstruct the batch as a span tree
+	// without this package importing a tracer. Like OnStage it is
+	// called under the stream's write lock and must be fast; unlike
+	// OnStage it fires exactly once per Apply/ReplayBatch call that
+	// got past the closed check, with the error included.
+	OnBatch func(bt BatchTrace)
+}
+
+// StageSample is one named, timed ingest stage inside a BatchTrace.
+// Stages are contiguous: each starts where the previous ended.
+type StageSample struct {
+	Name string
+	D    time.Duration
+}
+
+// BatchTrace describes one consumed ingest batch for the OnBatch
+// hook: what arrived, what it did, how long each pipeline stage took,
+// and how it ended. A zero-Name stage slot means the pipeline never
+// reached that stage (an earlier stage failed).
+type BatchTrace struct {
+	// Seq is the stream's WAL sequence after the batch: the batch's
+	// own sequence number when it validated (validation failures do
+	// not consume one).
+	Seq uint64
+	// Version is the published version; 0 when the batch failed.
+	Version uint64
+	// Events is the batch size; Applied how many events changed the
+	// edge set.
+	Events  int
+	Applied int
+	// Structural marks a batch whose strategy step rebuilt or
+	// refactorized instead of a rank-1 update.
+	Structural bool
+	// Start is when the batch entered the pipeline.
+	Start time.Time
+	// Err is the batch's outcome.
+	Err error
+	// Stages holds validate / log / apply / publish, in order.
+	Stages [4]StageSample
 }
 
 // StreamStats is a point-in-time snapshot of a stream's counters.
@@ -247,18 +288,42 @@ func (s *Stream) Seq() uint64 {
 // applyLocked is the shared commit path of Apply and ReplayBatch.
 // Callers hold the write lock. Stage timers run only when an OnStage
 // hook is installed, so the unobserved pipeline pays no clock reads.
-func (s *Stream) applyLocked(events []graph.EdgeEvent, logIt bool) (uint64, error) {
+func (s *Stream) applyLocked(events []graph.EdgeEvent, logIt bool) (v uint64, err error) {
 	var t0 time.Time
 	traced := s.cfg.OnStage != nil
+	batched := s.cfg.OnBatch != nil
+	var bt BatchTrace
+	nstage := 0
 	stage := func(name string) {
-		if traced {
-			now := time.Now()
-			s.cfg.OnStage(name, now.Sub(t0))
-			t0 = now
+		if !traced && !batched {
+			return
 		}
+		now := time.Now()
+		if traced {
+			s.cfg.OnStage(name, now.Sub(t0))
+		}
+		if batched && nstage < len(bt.Stages) {
+			bt.Stages[nstage] = StageSample{Name: name, D: now.Sub(t0)}
+			nstage++
+		}
+		t0 = now
 	}
-	if traced {
+	if traced || batched {
 		t0 = time.Now()
+	}
+	if batched {
+		bt.Start = t0
+		bt.Events = len(events)
+		// Emitted on every exit — error paths included — so the hook
+		// sees exactly one BatchTrace per consumed batch.
+		defer func() {
+			bt.Seq = s.seq
+			bt.Err = err
+			if err == nil {
+				bt.Version = s.version
+			}
+			s.cfg.OnBatch(bt)
+		}()
 	}
 	if err := s.builder.ValidateBatch(events); err != nil {
 		return 0, err
@@ -280,6 +345,7 @@ func (s *Stream) applyLocked(events []graph.EdgeEvent, logIt bool) (uint64, erro
 		return 0, err
 	}
 	stage("apply")
+	bt.Applied, bt.Structural = applied, s.stepStructural
 	s.version++
 	s.stats.Version = s.version
 	s.publishLocked()

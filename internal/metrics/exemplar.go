@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exemplars is a per-bucket exemplar sidecar for a Histogram: each
+// log₂ latency bucket remembers the slowest observation of the current
+// time window together with an opaque 16-byte ID (a trace ID), so a
+// scrape-level percentile anomaly resolves to a concrete retained
+// trace. The bucket layout mirrors Histogram exactly — slot b holds
+// the exemplar for observations d with bits.Len64(d) == b.
+//
+// Exemplars stay out of the Prometheus text exposition (the 0.0.4
+// grammar has no exemplar syntax; emitting OpenMetrics-style "# {...}"
+// suffixes would break strict parsers) and are served through the JSON
+// surfaces instead (/v1/traces, /v1/stats).
+//
+// The zero value is ready to use. Observe is allocation-free: slots
+// are fixed and updated in place under one mutex, with a lock-free
+// fast reject for observations that cannot displace the incumbent.
+type Exemplars struct {
+	// WindowNS is the exemplar replacement window in nanoseconds: a
+	// new observation displaces the slot's incumbent if it is slower,
+	// or if the incumbent is older than one window (so exemplars track
+	// "recent slowest", not "all-time slowest"). <= 0 means 60s.
+	WindowNS int64
+
+	mu    sync.Mutex
+	slots [64]exemplarSlot
+}
+
+type exemplarSlot struct {
+	ns  atomic.Int64 // observed duration; 0 = slot empty
+	at  atomic.Int64 // observation time, unix nanos
+	id  [16]byte     // guarded by Exemplars.mu
+	set bool         // guarded by Exemplars.mu
+}
+
+func (x *Exemplars) window() int64 {
+	if x.WindowNS > 0 {
+		return x.WindowNS
+	}
+	return int64(60 * time.Second)
+}
+
+// Observe offers one observation as an exemplar candidate for its
+// bucket.
+func (x *Exemplars) Observe(d time.Duration, id [16]byte) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		return
+	}
+	b := bucketIndex(ns)
+	s := &x.slots[b]
+	now := time.Now().UnixNano()
+	if cur := s.ns.Load(); cur != 0 && ns <= cur && now-s.at.Load() < x.window() {
+		return // incumbent is slower and fresh; nothing to do
+	}
+	x.mu.Lock()
+	if cur := s.ns.Load(); cur == 0 || ns > cur || now-s.at.Load() >= x.window() {
+		s.id = id
+		s.set = true
+		s.ns.Store(ns)
+		s.at.Store(now)
+	}
+	x.mu.Unlock()
+}
+
+// Exemplar is one bucket's snapshot entry.
+type Exemplar struct {
+	Bucket int       // histogram bucket index
+	UpperS float64   // bucket upper bound, seconds (the _bucket le)
+	NS     int64     // exemplar observation, nanoseconds
+	ID     [16]byte  // caller-supplied ID (a trace ID)
+	At     time.Time // when it was observed
+}
+
+// Snapshot returns the live exemplars, ascending by bucket. Slots
+// whose incumbent is older than two windows are considered stale and
+// omitted — an exemplar should always point at a trace the retention
+// ring plausibly still holds.
+func (x *Exemplars) Snapshot() []Exemplar {
+	now := time.Now().UnixNano()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var out []Exemplar
+	for b := range x.slots {
+		s := &x.slots[b]
+		if !s.set || now-s.at.Load() >= 2*x.window() {
+			continue
+		}
+		out = append(out, Exemplar{
+			Bucket: b,
+			UpperS: bucketUpperSeconds(b),
+			NS:     s.ns.Load(),
+			ID:     s.id,
+			At:     time.Unix(0, s.at.Load()),
+		})
+	}
+	return out
+}

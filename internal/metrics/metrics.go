@@ -78,12 +78,19 @@ func (h *Histogram) Observe(d time.Duration) {
 	if ns < 0 {
 		return
 	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.sumNS.Add(ns)
+}
+
+// bucketIndex maps a non-negative duration in nanoseconds to its log₂
+// bucket — shared by Histogram and its Exemplars sidecar so an
+// exemplar always lands in the bucket its observation was counted in.
+func bucketIndex(ns int64) int {
 	b := bits.Len64(uint64(ns))
 	if b > 63 {
 		b = 63
 	}
-	h.buckets[b].Add(1)
-	h.sumNS.Add(ns)
+	return b
 }
 
 // Snapshot reads the histogram's current state. The read is not atomic

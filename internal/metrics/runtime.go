@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	rtm "runtime/metrics"
+)
+
+// Go runtime self-observation: process-level series every deployment
+// wants on a dashboard next to the serving metrics, read straight
+// from runtime/metrics at scrape time — no background sampler
+// goroutine, no staleness.
+
+const (
+	sampleHeapBytes = "/memory/classes/heap/objects:bytes"
+	sampleGCPauses  = "/gc/pauses:seconds"
+)
+
+// RegisterRuntime registers the Go runtime series: live goroutines,
+// live heap bytes, the stop-the-world GC pause histogram, and the
+// clude_build_info identity gauge (constant 1, with the server
+// version and Go toolchain as labels — the standard join-key idiom
+// for "which binary is this scrape from").
+func RegisterRuntime(r *Registry, version string) {
+	r.GaugeFunc("clude_go_goroutines", "Goroutines currently live in the process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("clude_go_heap_bytes", "Bytes occupied by live heap objects (runtime/metrics /memory/classes/heap/objects:bytes).", nil,
+		func() float64 {
+			s := []rtm.Sample{{Name: sampleHeapBytes}}
+			rtm.Read(s)
+			if s[0].Value.Kind() != rtm.KindUint64 {
+				return 0
+			}
+			return float64(s[0].Value.Uint64())
+		})
+	r.HistogramFunc("clude_go_gc_pause_seconds",
+		"Stop-the-world GC pause durations since process start, re-bucketed onto the registry's log2 grid (counts exact, sum approximated by bucket upper bounds).",
+		nil, gcPauseSnapshot)
+	r.GaugeFunc("clude_build_info", "Build identity; constant 1. Join on the labels for version and Go toolchain.",
+		Labels{"version": version, "go": runtime.Version()},
+		func() float64 { return 1 })
+}
+
+// gcPauseSnapshot converts the runtime's Float64Histogram of GC
+// pauses into this package's 64-bucket log2 shape: each runtime
+// bucket's count lands in the log2 bucket of its upper bound, so the
+// conversion only ever rounds pause durations up (consistent with
+// Quantile's upper-bound reporting).
+func gcPauseSnapshot() HistogramSnapshot {
+	var snap HistogramSnapshot
+	s := []rtm.Sample{{Name: sampleGCPauses}}
+	rtm.Read(s)
+	if s[0].Value.Kind() != rtm.KindFloat64Histogram {
+		return snap
+	}
+	h := s[0].Value.Float64Histogram()
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		upper := h.Buckets[i+1]
+		if math.IsInf(upper, 1) {
+			// The +Inf bucket has no upper bound; its lower bound is
+			// the least wrong finite stand-in for the sum.
+			upper = h.Buckets[i]
+		}
+		ns := int64(upper * 1e9)
+		if ns < 0 { // a [-Inf, +Inf) degenerate bucket
+			ns = 0
+		}
+		snap.Buckets[bucketIndex(ns)] += int64(c)
+		snap.Total += int64(c)
+		snap.SumNS += int64(c) * ns
+	}
+	return snap
+}

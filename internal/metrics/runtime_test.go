@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeMetricsExposition registers the runtime series and holds
+// their exposition to the same structural grammar as every other
+// family, plus basic sanity on the values: a live process has
+// goroutines and heap, and after a forced GC the pause histogram is
+// populated and internally consistent.
+func TestRuntimeMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r, "v-test")
+	runtime.GC() // guarantee at least one pause observation
+
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE clude_go_goroutines gauge\n",
+		"# TYPE clude_go_heap_bytes gauge\n",
+		"# TYPE clude_go_gc_pause_seconds histogram\n",
+		"clude_go_gc_pause_seconds_count ",
+		`clude_build_info{go="` + runtime.Version() + `",version="v-test"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime exposition missing %q in:\n%s", want, out)
+		}
+	}
+	assertParses(t, out)
+
+	if v := sampleValue(t, out, "clude_go_goroutines"); v < 1 {
+		t.Errorf("clude_go_goroutines = %v, want >= 1", v)
+	}
+	if v := sampleValue(t, out, "clude_go_heap_bytes"); v <= 0 {
+		t.Errorf("clude_go_heap_bytes = %v, want > 0", v)
+	}
+}
+
+// TestGCPauseSnapshotConsistent pins the Float64Histogram -> log2
+// conversion invariants: bucket counts add up to the total and the
+// approximated sum is non-negative.
+func TestGCPauseSnapshotConsistent(t *testing.T) {
+	runtime.GC()
+	runtime.GC()
+	snap := gcPauseSnapshot()
+	if snap.Total == 0 {
+		t.Fatal("no GC pauses recorded after two forced collections")
+	}
+	var sum int64
+	for _, c := range snap.Buckets {
+		if c < 0 {
+			t.Fatalf("negative bucket count %d", c)
+		}
+		sum += c
+	}
+	if sum != snap.Total {
+		t.Fatalf("bucket counts sum to %d, total says %d", sum, snap.Total)
+	}
+	if snap.SumNS < 0 {
+		t.Fatalf("negative pause sum %d", snap.SumNS)
+	}
+}
+
+// sampleValue extracts the value of an unlabeled sample line.
+func sampleValue(t *testing.T, out, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[len(name)+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("no sample %q in exposition", name)
+	return 0
+}

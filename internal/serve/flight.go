@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/lu"
+	"repro/internal/trace"
 )
 
 // Single-flight coalescing: identical concurrent queries — same
@@ -60,6 +61,13 @@ type task struct {
 	// worker dequeue.
 	enqueuedAt time.Time
 	dequeuedAt time.Time
+
+	// Request trace (nil when tracing is off). Ownership follows the
+	// flight: the goroutine that calls e.finish finishes a leader's
+	// trace; a coalesced follower finishes its own in await. solveSpan
+	// is the worker's open solve span, auto-closed at trace finish.
+	tr        *trace.Trace
+	solveSpan *trace.Span
 }
 
 // canonicalize validates the query payload against dimension n and
@@ -112,6 +120,12 @@ type flight struct {
 	version uint64
 	live    bool
 	err     error
+
+	// lead is the leader's root span context, stamped before the
+	// flight is published in the flights map (so any joiner that found
+	// the flight observes it); followers link their traces to it
+	// instead of duplicating the solve's spans.
+	lead trace.SpanContext
 }
 
 func newFlight() *flight { return &flight{done: make(chan struct{})} }
@@ -125,7 +139,8 @@ func newFlight() *flight { return &flight{done: make(chan struct{})} }
 // not yet filled" cannot be observed: a query always either coalesces
 // or sees the finished flight's cache entry (unless the LRU evicted
 // it, in which case recomputing is correct, merely redundant).
-func (e *Engine) joinFlight(key string) (fl *flight, leader bool, ans answer, hit bool) {
+func (e *Engine) joinFlight(t *task) (fl *flight, leader bool, ans answer, hit bool) {
+	key := t.flightKey
 	e.flightMu.Lock()
 	defer e.flightMu.Unlock()
 	if fl := e.flights[key]; fl != nil {
@@ -135,6 +150,7 @@ func (e *Engine) joinFlight(key string) (fl *flight, leader bool, ans answer, hi
 		return nil, false, ans, true
 	}
 	fl = newFlight()
+	fl.lead = t.tr.Context()
 	e.flights[key] = fl
 	return fl, true, answer{}, false
 }
@@ -165,5 +181,28 @@ func (e *Engine) finish(t *task, ans answer, err error) {
 		delete(e.flights, t.flightKey)
 		e.flightMu.Unlock()
 	}
+	if t.tr != nil {
+		// Finish the trace before releasing the waiters: after done is
+		// closed nothing may touch the (recycled) handle, and the order
+		// guarantees a shed or solved query's trace is in the retention
+		// ring by the time its caller returns.
+		root := t.tr.Root()
+		root.SetInt("version", int64(t.version))
+		root.SetBool("live", t.live)
+		e.traceDone(t.tr, err)
+	}
 	close(fl.done)
+}
+
+// traceDone finishes a trace and, when it was retained, offers its
+// duration as a latency exemplar — so every exemplar ID resolves to a
+// trace /v1/traces/{id} can actually serve.
+func (e *Engine) traceDone(tr *trace.Trace, err error) {
+	if tr == nil {
+		return
+	}
+	out := tr.Finish(err)
+	if err == nil && out.Retained {
+		e.latEx.Observe(out.Duration, out.ID)
+	}
 }

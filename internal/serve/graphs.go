@@ -79,6 +79,7 @@ func (e *Engine) resolveKatz(q Query) (*task, error) {
 // surface to every waiter through the flight, like any other solve
 // failure.
 func (e *Engine) serveKatz(t *task) {
+	t.solveSpan.SetString("path", "katz")
 	scores, err := measures.Katz(t.graph, t.damping)
 	if err != nil {
 		e.finish(t, answer{}, err)

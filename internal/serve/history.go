@@ -328,7 +328,25 @@ func (e *Engine) resolveHistory(t *task, snap int) (routed bool, err error) {
 // group's version, then solves the group against the materialized
 // solver like any pinned group.
 func (e *Engine) serveHistGroup(group []*task, w *workerScratch) {
-	sv, err := e.historySolver(uint64(group[0].snap))
+	v := uint64(group[0].snap)
+	m0 := time.Now()
+	sv, err := e.historySolver(v)
+	if group[0].tr != nil {
+		// Materialization span with the attributes that explain a slow
+		// history query: which base the chain replayed from and how
+		// deep. An LRU hit records a ~zero-duration span with the same
+		// attributes — the trace then shows the replay was amortized.
+		md := time.Since(m0)
+		b, hasBase := e.findHistoryBase(v)
+		for _, t := range group {
+			sp := t.tr.Record("materialize", m0, md)
+			sp.SetInt("version", int64(v))
+			if hasBase {
+				sp.SetInt("base_version", int64(b))
+				sp.SetInt("replay_depth", int64(v-b))
+			}
+		}
+	}
 	if err != nil {
 		for _, t := range group {
 			e.finish(t, answer{}, err)

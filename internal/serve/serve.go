@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/lu"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // The measure names a Query may carry.
@@ -149,6 +150,12 @@ type Config struct {
 	// HistoryBudgetBytes bounds the bytes retained by materialized
 	// (non-base) solvers in the history LRU. <= 0 means 64 MiB.
 	HistoryBudgetBytes int64
+	// Tracer, when non-nil, traces every query through the pipeline
+	// stages (resolve → coalesce → admit → batch → solve) with
+	// tail-based retention; see internal/trace. nil disables tracing —
+	// the pipeline then runs exactly as before, with no per-query
+	// tracing cost at all.
+	Tracer *trace.Tracer
 }
 
 // Query is one measure request.
@@ -249,6 +256,13 @@ type Stats struct {
 	LatencyP95us float64 `json:"latency_p95_us"`
 	LatencyP99us float64 `json:"latency_p99_us"`
 
+	// LatencyExemplars links the latency histogram back to retained
+	// traces: per log₂ bucket, the trace ID of the slowest retained
+	// trace of the current window (Config.Tracer; empty when tracing
+	// is off or nothing was retained recently). Resolve an entry with
+	// /v1/traces/{trace_id}.
+	LatencyExemplars []LatencyExemplar `json:"latency_exemplars,omitempty"`
+
 	// Solve-path breakdown of the cold solves: SparseSolves answered
 	// through the reach-based path, DenseSolves through the full
 	// substitution (PageRank always; others on fallback, when the
@@ -309,6 +323,40 @@ type Stats struct {
 	HistoryDedupRatio       float64 `json:"history_dedup_ratio,omitempty"`
 }
 
+// LatencyExemplar is one bucket's exemplar: the slowest retained
+// trace observed in the bucket's current window.
+type LatencyExemplar struct {
+	// BucketLEs is the latency bucket's upper bound in seconds — the
+	// same le the exposition renders for clude_query_latency_seconds.
+	BucketLEs float64 `json:"bucket_le_s"`
+	// ValueUS is the exemplar observation in microseconds.
+	ValueUS float64 `json:"value_us"`
+	// TraceID resolves via /v1/traces/{id} while the retention ring
+	// still holds the trace.
+	TraceID string `json:"trace_id"`
+	// AgeS is how long ago the exemplar was observed.
+	AgeS float64 `json:"age_s"`
+}
+
+// LatencyExemplars snapshots the latency histogram's exemplar sidecar.
+func (e *Engine) LatencyExemplars() []LatencyExemplar {
+	exs := e.latEx.Snapshot()
+	if len(exs) == 0 {
+		return nil
+	}
+	now := time.Now()
+	out := make([]LatencyExemplar, len(exs))
+	for i, ex := range exs {
+		out[i] = LatencyExemplar{
+			BucketLEs: ex.UpperS,
+			ValueUS:   float64(ex.NS) / 1e3,
+			TraceID:   trace.TraceID(ex.ID).String(),
+			AgeS:      now.Sub(ex.At).Seconds(),
+		}
+	}
+	return out
+}
+
 // HitRate returns the cache hit fraction over answered queries.
 func (s Stats) HitRate() float64 {
 	if t := s.CacheHits + s.CacheMisses; t > 0 {
@@ -353,6 +401,13 @@ type Engine struct {
 	katzSolves                      atomic.Int64
 	lat                             metrics.Histogram
 	stages                          [numStages]metrics.Histogram
+
+	// Request tracing (Config.Tracer) and the latency histogram's
+	// exemplar sidecar: latEx remembers, per log₂ bucket and time
+	// window, the trace ID of the slowest retained trace — the bridge
+	// from a scrape-level percentile to a replayable trace.
+	tracer *trace.Tracer
+	latEx  metrics.Exemplars
 
 	// Sparse-path counters: reachRows/reachDen accumulate the touched-
 	// row and dimension totals of sparse solves, so AvgReachFrac is an
@@ -441,6 +496,7 @@ func New(cfg Config) *Engine {
 		spillPending: make(map[int]*lu.Solver),
 		spillKick:    make(chan struct{}, 1),
 		hist:         newHistState(cfg.HistoryBudgetBytes),
+		tracer:       cfg.Tracer,
 	}
 	if cfg.SpillDir != "" {
 		e.initSpill()
@@ -592,6 +648,7 @@ func (e *Engine) Stats() Stats {
 			P99us: s.QuantileUS(0.99),
 		}
 	}
+	st.LatencyExemplars = e.LatencyExemplars()
 	if src, _ := e.liveSource(); src != nil {
 		st.LiveAttached = true
 		st.LiveQueries = e.liveQueries.Load()
@@ -612,8 +669,18 @@ func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
 		defer cancel()
 	}
+	// The latency clock read doubles as the trace's root start: on this
+	// path a time.Now costs as much as the rest of a span, so tracing
+	// shares every timestamp serve already takes.
 	start := time.Now()
-	resp, err := e.dispatch(ctx, q)
+	tr := e.tracer.StartRequestAt(ctx, "query", start)
+	if tr != nil {
+		root := tr.Root()
+		root.SetString("measure", q.Measure)
+		root.SetInt("snapshot", int64(q.Snapshot))
+		root.SetInt("source", int64(q.Source))
+	}
+	resp, err := e.dispatch(ctx, q, tr)
 	if err != nil {
 		e.rejected.Add(1)
 		return nil, err
@@ -623,26 +690,37 @@ func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
 }
 
 // dispatch runs the admission pipeline: resolve the route, try the
-// cache, join or lead a flight, enqueue (or shed), and wait.
-func (e *Engine) dispatch(ctx context.Context, q Query) (*Response, error) {
+// cache, join or lead a flight, enqueue (or shed), and wait. Trace
+// ownership follows the answer's path: dispatch finishes tr itself on
+// the paths that answer (or fail) inline, a coalesced follower
+// finishes its own trace in await, and every path that hands the task
+// to a worker transfers the trace with it — e.finish completes it
+// there, before the flight's waiters are released.
+func (e *Engine) dispatch(ctx context.Context, q Query, tr *trace.Trace) (*Response, error) {
 	select {
 	case <-e.closed:
 		e.admitted.Add(1)
+		e.traceDone(tr, ErrClosed)
 		return nil, ErrClosed
 	default:
 	}
 	if err := ctx.Err(); err != nil {
 		e.admitted.Add(1)
+		e.traceDone(tr, err)
 		return nil, err
 	}
 
 	r0 := time.Now()
 	t, err := e.resolve(q)
-	e.stages[stageResolve].Observe(time.Since(r0))
+	rd := time.Since(r0)
+	e.stages[stageResolve].Observe(rd)
+	tr.Record("resolve", r0, rd)
 	if err != nil {
 		e.admitted.Add(1)
+		e.traceDone(tr, err)
 		return nil, err
 	}
+	t.tr = tr
 
 	if t.keyed && e.cfg.NoSingleFlight {
 		if ans, ok := e.cache.get(t.flightKey); ok {
@@ -651,6 +729,8 @@ func (e *Engine) dispatch(ctx context.Context, q Query) (*Response, error) {
 			if t.live {
 				e.liveQueries.Add(1)
 			}
+			tr.Root().SetBool("cache_hit", true)
+			e.traceDone(tr, nil)
 			return respond(t.snap, q.Measure, t.damping, ans, true, t.version, t.live), nil
 		}
 		// Solve independently: no flight registration, but the answer
@@ -658,19 +738,27 @@ func (e *Engine) dispatch(ctx context.Context, q Query) (*Response, error) {
 		t.flightKey = ""
 		t.fl = newFlight()
 	} else if t.keyed {
-		fl, leader, ans, hit := e.joinFlight(t.flightKey)
+		fl, leader, ans, hit := e.joinFlight(t)
 		if hit {
 			e.admitted.Add(1)
 			e.hits.Add(1)
 			if t.live {
 				e.liveQueries.Add(1)
 			}
+			tr.Root().SetBool("cache_hit", true)
+			e.traceDone(tr, nil)
 			return respond(t.snap, q.Measure, t.damping, ans, true, t.version, t.live), nil
 		}
 		t.fl = fl
 		if !leader {
+			// A follower's trace links to the leader's span instead of
+			// duplicating the solve: the follower records only its
+			// coalesce wait, and the link resolves to the trace that
+			// carries the solve's spans.
 			t.coalesced = true
 			e.coalesced.Add(1)
+			tr.Link(fl.lead)
+			tr.Root().SetBool("coalesced", true)
 			return e.await(ctx, t)
 		}
 	} else {
@@ -688,6 +776,7 @@ func (e *Engine) dispatch(ctx context.Context, q Query) (*Response, error) {
 		e.admitted.Add(1)
 	default:
 		e.shed.Add(1)
+		tr.Root().SetBool("shed", true)
 		e.finish(t, answer{}, ErrOverloaded)
 		return nil, ErrOverloaded
 	}
@@ -698,15 +787,29 @@ func (e *Engine) dispatch(ctx context.Context, q Query) (*Response, error) {
 // (context cancelled, engine closed) never affects the flight itself:
 // the worker completes it for whoever remains, and the cache fill
 // happens regardless — cancellation cannot poison the shared result.
+//
+// Trace ownership here: a coalesced follower owns its trace and
+// finishes it on every exit; a leader's trace travels with the task
+// and is finished by e.finish on the worker side (possibly after an
+// abandoning leader has already returned), so await never touches it.
 func (e *Engine) await(ctx context.Context, t *task) (*Response, error) {
-	if t.coalesced {
-		w0 := time.Now()
-		defer func() { e.stages[stageCoalesce].Observe(time.Since(w0)) }()
-	}
 	fl := t.fl
+	var w0 time.Time
+	if t.coalesced {
+		w0 = time.Now()
+	}
+	done := func(err error) {
+		if t.coalesced {
+			d := time.Since(w0)
+			e.stages[stageCoalesce].Observe(d)
+			t.tr.Record("coalesce", w0, d)
+			e.traceDone(t.tr, err)
+		}
+	}
 	select {
 	case <-fl.done:
 		if fl.err != nil {
+			done(fl.err)
 			return nil, fl.err
 		}
 		if t.coalesced {
@@ -718,10 +821,13 @@ func (e *Engine) await(ctx context.Context, t *task) (*Response, error) {
 		if fl.live {
 			e.liveQueries.Add(1)
 		}
+		done(nil)
 		return respond(fl.snap, t.q.Measure, t.damping, fl.ans, false, fl.version, fl.live), nil
 	case <-ctx.Done():
+		done(ctx.Err())
 		return nil, ctx.Err()
 	case <-e.closed:
+		done(ErrClosed)
 		return nil, ErrClosed
 	}
 }

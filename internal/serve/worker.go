@@ -71,7 +71,9 @@ func (e *Engine) worker() {
 // the admit-stage wait.
 func (e *Engine) dequeued(t *task) {
 	t.dequeuedAt = time.Now()
-	e.stages[stageAdmit].Observe(t.dequeuedAt.Sub(t.enqueuedAt))
+	d := t.dequeuedAt.Sub(t.enqueuedAt)
+	e.stages[stageAdmit].Observe(d)
+	t.tr.Record("admit", t.enqueuedAt, d)
 }
 
 // gather drains up to batchMax−1 more queued tasks without blocking:
@@ -137,6 +139,11 @@ func (e *Engine) serveGroup(group []*task, w *workerScratch) {
 	s0 := time.Now()
 	for _, t := range group {
 		e.stages[stageBatch].Observe(s0.Sub(t.dequeuedAt))
+		t.tr.Record("batch", t.dequeuedAt, s0.Sub(t.dequeuedAt))
+		// The solve span stays open across the dispatch below; the
+		// trace finish inside e.finish closes it, so its duration is
+		// solve start → that task's answer publication.
+		t.solveSpan = t.tr.StartSpanAt("solve", s0)
 	}
 	switch {
 	case group[0].live:
@@ -291,12 +298,14 @@ func (e *Engine) serveSingle(t *task, solver *lu.Solver, w *workerScratch) {
 	me := measures.NewSolverEngine(t.damping, solver)
 	frac := e.cfg.SparseReachFrac
 	useSparse := frac >= 0
+	sparsePath := false
 	var ans answer
 	switch t.q.Measure {
 	case MeasureRWR:
 		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
 			return me.RWRSparse(t.q.Source, frac, &w.sws)
 		}); ok {
+			sparsePath = true
 			ans.scores = sp.Dense(nil)
 		} else {
 			e.denseSolves.Add(1)
@@ -306,6 +315,7 @@ func (e *Engine) serveSingle(t *task, solver *lu.Solver, w *workerScratch) {
 		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
 			return me.PPRSparse(t.seeds, frac, &w.sws)
 		}); ok {
+			sparsePath = true
 			ans.scores = sp.Dense(nil)
 		} else {
 			e.denseSolves.Add(1)
@@ -320,6 +330,7 @@ func (e *Engine) serveSingle(t *task, solver *lu.Solver, w *workerScratch) {
 		if sp, ok := e.trySparse(useSparse, func() (measures.SparseScores, bool) {
 			return me.RWRSparse(t.q.Source, frac, &w.sws)
 		}); ok {
+			sparsePath = true
 			// Top-k straight from the sparse support: the full score
 			// vector is never materialized.
 			ans.nodes, ans.scores = measures.TopKSparse(sp, t.q.K)
@@ -332,6 +343,11 @@ func (e *Engine) serveSingle(t *task, solver *lu.Solver, w *workerScratch) {
 				ans.scores[i] = w.buf[v]
 			}
 		}
+	}
+	if sparsePath {
+		t.solveSpan.SetString("path", "sparse")
+	} else {
+		t.solveSpan.SetString("path", "dense")
 	}
 	e.finish(t, ans, nil)
 }
@@ -367,7 +383,13 @@ func (e *Engine) serveBlock(group []*task, solver *lu.Solver, w *workerScratch) 
 		}
 		bs[r] = b
 	}
-	if e.panelSet(group[0], solver, k) != nil {
+	panels := e.panelSet(group[0], solver, k) != nil
+	for _, t := range group {
+		t.solveSpan.SetString("path", "block")
+		t.solveSpan.SetInt("block_width", int64(k))
+		t.solveSpan.SetBool("panels", panels)
+	}
+	if panels {
 		solver.SolveBlockPanels(bs, bs, &w.bws)
 		e.panelSolves.Add(1)
 		e.panelRHS.Add(int64(k))

@@ -51,10 +51,12 @@ type Options struct {
 	History bool
 	// OnStage, when non-nil, receives the duration of each durability
 	// stage: "wal_append" per logged batch (durable write + fsync per
-	// the sync policy) and "snapshot" per checkpoint written. Must be
-	// fast and non-blocking — wal_append fires inside the stream's
-	// commit path. The hook keeps this package import-clean of any
-	// metrics implementation.
+	// the sync policy), "snapshot" per checkpoint written, and
+	// "compaction" per history-sidecar compaction attempt (fires inside
+	// the snapshot stage, so the two overlap). Must be fast and
+	// non-blocking — wal_append fires inside the stream's commit path.
+	// The hook keeps this package import-clean of any metrics
+	// implementation.
 	OnStage func(stage string, d time.Duration)
 }
 
@@ -435,7 +437,12 @@ func (st *Store) Snapshot() error {
 	// is dead. A failed compaction is counted, not fatal — the old file
 	// keeps working.
 	if st.hist != nil {
-		if err := st.hist.MaybeCompact(); err != nil {
+		c0 := time.Now()
+		cerr := st.hist.MaybeCompact()
+		if st.opt.OnStage != nil {
+			st.opt.OnStage("compaction", time.Since(c0))
+		}
+		if cerr != nil {
 			st.mu.Lock()
 			st.histErrors++
 			st.mu.Unlock()

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceData is the immutable serialized form of a retained trace.
+// Instances are shared between the ring, /v1/traces handlers, and
+// OnRetain consumers — never mutate one after publication.
+type TraceData struct {
+	TraceID      string         `json:"trace_id"`
+	SpanID       string         `json:"span_id"`
+	Parent       string         `json:"parent_span_id,omitempty"`
+	Name         string         `json:"name"`
+	Start        time.Time      `json:"start"`
+	DurationUS   float64        `json:"duration_us"`
+	Reason       string         `json:"reason"`
+	Error        string         `json:"error,omitempty"`
+	Link         *LinkData      `json:"link,omitempty"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
+	Spans        []SpanData     `json:"spans,omitempty"`
+	DroppedSpans int            `json:"dropped_spans,omitempty"`
+}
+
+// LinkData points at work another trace performed on this trace's
+// behalf (a coalesce leader's root span).
+type LinkData struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+}
+
+// SpanData is one child span of a retained trace. Offsets are
+// relative to the trace start so a span tree renders without clock
+// arithmetic.
+type SpanData struct {
+	SpanID     string         `json:"span_id"`
+	Name       string         `json:"name"`
+	OffsetUS   float64        `json:"offset_us"`
+	DurationUS float64        `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Filter selects retained traces from the ring.
+type Filter struct {
+	// MinDuration keeps only traces at least this slow.
+	MinDuration time.Duration
+	// ErrorsOnly keeps only traces finished with an error.
+	ErrorsOnly bool
+	// Limit caps the result count; <= 0 means no cap.
+	Limit int
+}
+
+func (f Filter) match(td *TraceData) bool {
+	if f.ErrorsOnly && td.Error == "" {
+		return false
+	}
+	return td.DurationUS >= us(f.MinDuration)
+}
+
+// collector is a fixed-size overwrite-oldest ring of retained traces.
+// Writes are rare (retained traces only), so one mutex is plenty.
+type collector struct {
+	mu  sync.Mutex
+	buf []*TraceData
+	n   uint64 // total ever retained; buf[(n-1) % len] is newest
+}
+
+func (c *collector) put(td *TraceData) {
+	c.mu.Lock()
+	c.buf[c.n%uint64(len(c.buf))] = td
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *collector) buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n < uint64(len(c.buf)) {
+		return int(c.n)
+	}
+	return len(c.buf)
+}
+
+func (c *collector) recent(f Filter) []*TraceData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	span := uint64(len(c.buf))
+	if c.n < span {
+		span = c.n
+	}
+	var out []*TraceData
+	for i := uint64(0); i < span; i++ {
+		td := c.buf[(c.n-1-i)%uint64(len(c.buf))]
+		if !f.match(td) {
+			continue
+		}
+		out = append(out, td)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+func (c *collector) get(id string) (*TraceData, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	span := uint64(len(c.buf))
+	if c.n < span {
+		span = c.n
+	}
+	// Newest-first scan: on ID collision across ring generations the
+	// most recent trace wins, which is what a debugger wants.
+	for i := uint64(0); i < span; i++ {
+		if td := c.buf[(c.n-1-i)%uint64(len(c.buf))]; td.TraceID == id {
+			return td, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,672 @@
+// Package trace is a dependency-free request-scoped tracer.
+//
+// It exists to answer "which query, which stage, why" when an
+// aggregate histogram says only that p99 moved. Design constraints,
+// in order:
+//
+//   - Zero allocations on the warm path. A trace that is not retained
+//     must leave no heap traffic behind: Trace objects are pooled,
+//     spans live in a fixed arena inside the Trace, and attributes
+//     occupy inline typed slots. Serialization happens only for
+//     retained traces.
+//   - Tail-based retention. The keep/drop decision happens at Finish,
+//     when the outcome is known: error traces and traces at or above a
+//     slow threshold are always kept; the rest are kept with a
+//     configurable probability. The interesting 0.01% survives even at
+//     a 0.1% sample rate.
+//   - W3C interop. Trace/span IDs are traceparent-compatible
+//     (16-byte/8-byte, hex on the wire) so context can cross process
+//     boundaries once serving goes multi-node.
+//
+// A Trace and its Spans are owned by one pipeline at a time and are
+// not safe for concurrent mutation; the serve pipeline's channel
+// handoffs provide the required happens-before edges. All methods are
+// nil-safe: a nil *Tracer yields nil *Trace handles and every
+// operation on them is a no-op, so call sites need no tracing-enabled
+// branches.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 16-byte W3C trace-id.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String returns the 32-character lowercase hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanID is an 8-byte W3C parent-id / span-id.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String returns the 16-character lowercase hex form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanContext identifies one span of one trace. It is a small value
+// type, safe to copy and to read after the originating Trace has been
+// finished and recycled.
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID
+	Sampled bool
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// Traceparent renders the context in W3C traceparent form:
+// "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+func (sc SpanContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.Trace[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.Span[:])
+	b[52], b[53] = '-', '0'
+	if sc.Sampled {
+		b[54] = '1'
+	} else {
+		b[54] = '0'
+	}
+	return string(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header. Any version other
+// than "ff" is accepted per the spec's forward-compatibility rule; the
+// all-zero trace-id and parent-id are rejected.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(s[0:2])); err != nil || ver[0] == 0xff {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.Trace[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&1 != 0
+	return sc, true
+}
+
+type ctxKey struct{}
+
+// WithParent returns a context carrying sc as the inbound parent span
+// context for traces started beneath it.
+func WithParent(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// Parent extracts the inbound parent span context, or the zero value
+// if none was attached.
+func Parent(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// Retention reasons recorded on retained traces.
+const (
+	ReasonError   = "error"
+	ReasonSlow    = "slow"
+	ReasonSampled = "sampled"
+)
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Buffer is the retained-trace ring capacity. Defaults to 256.
+	Buffer int
+	// Slow is the tail-retention latency threshold: finished traces
+	// with duration >= Slow are retained (like errors, subject to the
+	// per-second storm cap — see Stats.StormLimited). <= 0 disables
+	// slow-based retention.
+	Slow time.Duration
+	// Sample is the probability in [0, 1] of retaining an ordinary
+	// (fast, successful) trace. 0 keeps none of them; 1 keeps all.
+	Sample float64
+	// MaxSpans bounds child spans per trace; excess spans are counted
+	// and dropped. Defaults to 8 — one more than the widest current
+	// pipeline (resolve/coalesce/admit/batch/solve plus ingest's four
+	// stages); each slot costs ~350 bytes per pooled trace, so the
+	// arena is sized to the need, not to a round number.
+	MaxSpans int
+	// OnRetain, if set, is invoked synchronously with each retained
+	// trace after it enters the ring. It must be fast; it runs on the
+	// finishing goroutine (a serve worker, the ingest apply path, …).
+	OnRetain func(*TraceData)
+}
+
+// Tracer mints traces and retains the interesting ones in a ring.
+// The zero value is unusable; construct with New. A nil *Tracer is a
+// valid no-op tracer.
+type Tracer struct {
+	slow      time.Duration
+	sampleAll bool
+	sampleLT  uint64 // retain ordinary trace when rand64 < sampleLT
+	maxSpans  int
+	onRetain  func(*TraceData)
+	seed      uint64
+	seq       atomic.Uint64
+	pool      sync.Pool
+
+	started         atomic.Uint64
+	retainedError   atomic.Uint64
+	retainedSlow    atomic.Uint64
+	retainedSampled atomic.Uint64
+
+	// Storm cap on error/slow retention: at most stormCap snapshots
+	// per second. A mass-shed or latency storm makes every trace
+	// retention-worthy at once; past a few ring turnovers per second
+	// the snapshots only overwrite each other, while their allocation
+	// cost lands on the serving hot path.
+	stormCap     int64
+	stormSec     atomic.Int64
+	stormCount   atomic.Int64
+	stormLimited atomic.Uint64
+
+	col collector
+}
+
+// New builds a Tracer. See Config for defaults.
+func New(cfg Config) *Tracer {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 8
+	}
+	t := &Tracer{
+		slow:     cfg.Slow,
+		maxSpans: cfg.MaxSpans,
+		onRetain: cfg.OnRetain,
+		seed:     processSeed(),
+		stormCap: int64(4 * cfg.Buffer),
+	}
+	switch {
+	case cfg.Sample >= 1:
+		t.sampleAll = true
+	case cfg.Sample > 0:
+		t.sampleLT = uint64(cfg.Sample * float64(1<<63) * 2)
+	}
+	t.pool.New = func() any {
+		return &Trace{spans: make([]Span, 0, t.maxSpans)}
+	}
+	t.col.buf = make([]*TraceData, cfg.Buffer)
+	return t
+}
+
+// allowStorm admits one error/slow retention against the per-second
+// storm cap. The window reset races benignly: concurrent resets only
+// let a handful of extra snapshots through at a second boundary.
+func (t *Tracer) allowStorm(now time.Time) bool {
+	sec := now.Unix()
+	if t.stormSec.Load() != sec {
+		t.stormSec.Store(sec)
+		t.stormCount.Store(0)
+	}
+	if t.stormCount.Add(1) > t.stormCap {
+		t.stormLimited.Add(1)
+		return false
+	}
+	return true
+}
+
+// SlowThreshold reports the configured slow-retention threshold.
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.slow
+}
+
+// Start begins a trace whose root span is named name. parent, when
+// valid, is recorded as the remote parent span (trace-id adoption is
+// deliberate: the inbound trace-id is kept so cross-process traces
+// stitch together). Returns nil when t is nil.
+func (t *Tracer) Start(name string, parent SpanContext) *Trace {
+	return t.StartAt(name, parent, time.Now())
+}
+
+// StartAt is Start with an explicit root start time — the synthesis
+// path for traces reconstructed after the fact (an ingest batch whose
+// stages were measured by hooks): backdating the root keeps the trace
+// duration honest, so slow-threshold retention still applies.
+func (t *Tracer) StartAt(name string, parent SpanContext, start time.Time) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	n := t.seq.Add(1)
+	a := splitmix64(n ^ t.seed)
+	b := splitmix64(a ^ 0x9e3779b97f4a7c15)
+	tr := t.pool.Get().(*Trace)
+	tr.t = t
+	if parent.Valid() {
+		tr.id = parent.Trace
+		tr.parent = parent.Span
+	} else {
+		binary.BigEndian.PutUint64(tr.id[0:8], a)
+		binary.BigEndian.PutUint64(tr.id[8:16], b|1) // never all-zero
+	}
+	tr.sampled = t.sampleAll || (t.sampleLT > 0 && splitmix64(b^0xbf58476d1ce4e5b9) < t.sampleLT)
+	tr.spanSeq = b
+	// Field-wise root init: a Span literal would also zero the inline
+	// attribute array (a third of the struct), which is dead weight —
+	// attrs are only ever read through attrs[:na].
+	r := &tr.root
+	r.name = name
+	r.id = tr.nextSpanID()
+	r.start = start
+	r.dur = 0
+	r.done = false
+	r.na = 0
+	return tr
+}
+
+// StartRequest begins a trace for an inbound request, adopting any
+// parent span context attached to ctx via WithParent.
+func (t *Tracer) StartRequest(ctx context.Context, name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return t.Start(name, Parent(ctx))
+}
+
+// StartRequestAt is StartRequest with an explicit start time, for call
+// sites that already read the clock for their own latency accounting:
+// on hosts where a clock read costs tens of nanoseconds, sharing it is
+// the difference between tracing being free and tracing taxing the hot
+// path.
+func (t *Tracer) StartRequestAt(ctx context.Context, name string, start time.Time) *Trace {
+	if t == nil {
+		return nil
+	}
+	return t.StartAt(name, Parent(ctx), start)
+}
+
+// Recent returns retained traces, newest first, matching f.
+func (t *Tracer) Recent(f Filter) []*TraceData {
+	if t == nil {
+		return nil
+	}
+	return t.col.recent(f)
+}
+
+// Get looks up a retained trace by its 32-hex trace-id string.
+func (t *Tracer) Get(id string) (*TraceData, bool) {
+	if t == nil {
+		return nil, false
+	}
+	return t.col.get(id)
+}
+
+// Stats is a point-in-time snapshot of tracer counters.
+type Stats struct {
+	Started         uint64 `json:"started"`
+	Retained        uint64 `json:"retained"`
+	RetainedError   uint64 `json:"retained_error"`
+	RetainedSlow    uint64 `json:"retained_slow"`
+	RetainedSampled uint64 `json:"retained_sampled"`
+	// StormLimited counts error/slow traces dropped by the per-second
+	// storm cap (4x the ring size): during a mass-shed or latency
+	// storm the ring is already saturated with examples, and further
+	// snapshots would only tax the hot path to overwrite each other.
+	StormLimited uint64 `json:"storm_limited"`
+	Buffered     int    `json:"buffered"`
+}
+
+// Stats reports tracer counters. Safe on a nil Tracer.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Started:         t.started.Load(),
+		RetainedError:   t.retainedError.Load(),
+		RetainedSlow:    t.retainedSlow.Load(),
+		RetainedSampled: t.retainedSampled.Load(),
+		StormLimited:    t.stormLimited.Load(),
+		Buffered:        t.col.buffered(),
+	}
+	s.Retained = s.RetainedError + s.RetainedSlow + s.RetainedSampled
+	return s
+}
+
+// maxAttrs is the inline attribute capacity per span. Sized for the
+// widest current user (the query root span); raising it costs
+// maxAttrs*48 bytes per pooled span.
+const maxAttrs = 6
+
+type attrKind uint8
+
+const (
+	attrNone attrKind = iota
+	attrString
+	attrInt
+	attrFloat
+	attrBool
+)
+
+type attr struct {
+	key  string
+	str  string
+	num  uint64
+	kind attrKind
+}
+
+// Span is one timed operation inside a Trace. The zero value is
+// inert; spans are created via Trace.StartSpan or Trace.Record.
+// Methods are nil-safe no-ops.
+type Span struct {
+	name  string
+	id    SpanID
+	start time.Time
+	dur   time.Duration
+	done  bool
+	na    uint8
+	attrs [maxAttrs]attr
+}
+
+func (s *Span) setAttr(a attr) {
+	if s == nil || int(s.na) >= maxAttrs {
+		return
+	}
+	s.attrs[s.na] = a
+	s.na++
+}
+
+// SetString attaches a string attribute.
+func (s *Span) SetString(k, v string) { s.setAttr(attr{key: k, str: v, kind: attrString}) }
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(k string, v int64) { s.setAttr(attr{key: k, num: uint64(v), kind: attrInt}) }
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(k string, v float64) {
+	s.setAttr(attr{key: k, num: math.Float64bits(v), kind: attrFloat})
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(k string, v bool) {
+	var n uint64
+	if v {
+		n = 1
+	}
+	s.setAttr(attr{key: k, num: n, kind: attrBool})
+}
+
+// End closes the span now. Spans still open when the trace finishes
+// are closed at the trace end time.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.dur = time.Since(s.start)
+	s.done = true
+}
+
+func (s *Span) endAt(now time.Time) {
+	if s.done {
+		return
+	}
+	s.dur = now.Sub(s.start)
+	s.done = true
+}
+
+// Trace is one in-flight request trace. Handles are pooled: after
+// Finish the handle is invalid and must not be touched again.
+type Trace struct {
+	t       *Tracer
+	id      TraceID
+	parent  SpanID // inbound remote parent, zero if local root
+	root    Span
+	spans   []Span
+	dropped int
+	link    SpanContext
+	sampled bool
+	spanSeq uint64
+}
+
+func (tr *Trace) nextSpanID() SpanID {
+	tr.spanSeq = splitmix64(tr.spanSeq)
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], tr.spanSeq|1)
+	return id
+}
+
+// ID returns the trace ID. Zero on a nil trace.
+func (tr *Trace) ID() TraceID {
+	if tr == nil {
+		return TraceID{}
+	}
+	return tr.id
+}
+
+// Context returns the root span's context for propagation (to a
+// follower's link, an outbound header, …). It remains valid after the
+// trace finishes because it is a value copy.
+func (tr *Trace) Context() SpanContext {
+	if tr == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: tr.id, Span: tr.root.id, Sampled: tr.sampled}
+}
+
+// Root returns the root span for attribute attachment.
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return &tr.root
+}
+
+// StartSpan opens a child span named name starting now. The returned
+// pointer aims into the trace's arena; do not retain it past Finish.
+func (tr *Trace) StartSpan(name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.StartSpanAt(name, time.Now())
+}
+
+// StartSpanAt opens a child span starting at an already-read timestamp
+// (the clock-sharing counterpart of Record, for spans whose end isn't
+// known yet).
+func (tr *Trace) StartSpanAt(name string, start time.Time) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.addSpan(Span{name: name, id: tr.nextSpanID(), start: start})
+}
+
+// Record appends an already-measured span: it started at start and
+// lasted d. This lets call sites reuse timestamps they already took
+// for histogram observations instead of reading the clock twice.
+func (tr *Trace) Record(name string, start time.Time, d time.Duration) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.addSpan(Span{name: name, id: tr.nextSpanID(), start: start, dur: d, done: true})
+}
+
+func (tr *Trace) addSpan(s Span) *Span {
+	if len(tr.spans) == cap(tr.spans) {
+		tr.dropped++
+		return nil
+	}
+	tr.spans = append(tr.spans, s)
+	return &tr.spans[len(tr.spans)-1]
+}
+
+// Link records that this trace observed (but did not perform) the
+// work identified by sc — e.g. a coalesced follower pointing at the
+// leader that ran the solve.
+func (tr *Trace) Link(sc SpanContext) {
+	if tr == nil {
+		return
+	}
+	tr.link = sc
+}
+
+// Outcome is what Finish reports back to the call site; it stays
+// valid after the trace handle is recycled.
+type Outcome struct {
+	ID       TraceID
+	Duration time.Duration
+	Retained bool
+	Reason   string
+}
+
+// Finish closes the trace, decides retention, and recycles the
+// handle. Exactly one goroutine may call Finish, exactly once; the
+// handle and all its spans are invalid afterwards.
+func (tr *Trace) Finish(err error) Outcome {
+	if tr == nil {
+		return Outcome{}
+	}
+	now := time.Now()
+	tr.root.endAt(now)
+	out := Outcome{ID: tr.id, Duration: tr.root.dur}
+	t := tr.t
+	switch {
+	case err != nil:
+		if t.allowStorm(now) {
+			out.Reason = ReasonError
+			t.retainedError.Add(1)
+		}
+	case t.slow > 0 && tr.root.dur >= t.slow:
+		if t.allowStorm(now) {
+			out.Reason = ReasonSlow
+			t.retainedSlow.Add(1)
+		}
+	case tr.sampled:
+		out.Reason = ReasonSampled
+		t.retainedSampled.Add(1)
+	}
+	if out.Reason != "" {
+		out.Retained = true
+		td := tr.snapshot(out.Reason, err, now)
+		t.col.put(td)
+		if t.onRetain != nil {
+			t.onRetain(td)
+		}
+	}
+	tr.reset()
+	t.pool.Put(tr)
+	return out
+}
+
+// reset clears only what the next StartAt does not overwrite. The
+// root span and trace id are deliberately left dirty: StartAt assigns
+// both unconditionally, and re-zeroing the root's inline attribute
+// array here would double the per-recycle memory traffic.
+func (tr *Trace) reset() {
+	tr.t = nil
+	tr.parent = SpanID{}
+	tr.spans = tr.spans[:0]
+	tr.dropped = 0
+	tr.link = SpanContext{}
+	tr.sampled = false
+}
+
+// snapshot serializes the trace into an immutable TraceData. Only
+// retained traces pay this cost.
+func (tr *Trace) snapshot(reason string, err error, now time.Time) *TraceData {
+	td := &TraceData{
+		TraceID:      tr.id.String(),
+		SpanID:       tr.root.id.String(),
+		Name:         tr.root.name,
+		Start:        tr.root.start,
+		DurationUS:   us(tr.root.dur),
+		Reason:       reason,
+		Attrs:        attrMap(tr.root.attrs[:tr.root.na]),
+		DroppedSpans: tr.dropped,
+	}
+	if !tr.parent.IsZero() {
+		td.Parent = tr.parent.String()
+	}
+	if err != nil {
+		td.Error = err.Error()
+	}
+	if tr.link.Valid() {
+		td.Link = &LinkData{TraceID: tr.link.Trace.String(), SpanID: tr.link.Span.String()}
+	}
+	if len(tr.spans) > 0 {
+		td.Spans = make([]SpanData, len(tr.spans))
+		for i := range tr.spans {
+			s := &tr.spans[i]
+			s.endAt(now)
+			td.Spans[i] = SpanData{
+				SpanID:     s.id.String(),
+				Name:       s.name,
+				OffsetUS:   us(s.start.Sub(tr.root.start)),
+				DurationUS: us(s.dur),
+				Attrs:      attrMap(s.attrs[:s.na]),
+			}
+		}
+	}
+	return td
+}
+
+func attrMap(attrs []attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		switch a.kind {
+		case attrString:
+			m[a.key] = a.str
+		case attrInt:
+			m[a.key] = int64(a.num)
+		case attrFloat:
+			m[a.key] = math.Float64frombits(a.num)
+		case attrBool:
+			m[a.key] = a.num != 0
+		}
+	}
+	return m
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// processSeed derives a per-tracer seed from the CSPRNG so trace IDs
+// are unpredictable across restarts; the cheap splitmix stream then
+// runs allocation-free per trace.
+func processSeed() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) * 0x9e3779b97f4a7c15
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}

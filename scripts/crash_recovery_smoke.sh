@@ -12,6 +12,11 @@
 # materializable on the recovered server with answers identical to the
 # pre-kill ones. This is the end-to-end, real-binary companion to
 # internal/store's kill-point property tests; CI runs it per PR.
+# The server runs with -trace-sample 1, so the run also asserts the
+# recovered server's request tracing end to end: /v1/traces must list
+# the post-restart queries with the full resolve/admit/batch/solve
+# stage set, the post-recovery ingest with its synthesized
+# validate/apply/log/publish stages, and resolve a listed id by path.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,7 +27,7 @@ WORK="$(mktemp -d)"
 DATA="$WORK/data"
 SRV_FLAGS=(-stream -alg CLUDE -scale tiny -addr "$ADDR"
   -data-dir "$DATA" -fsync always -snapshot-every 4
-  -batch 4 -flush-ms 50 -history-base 2)
+  -batch 4 -flush-ms 50 -history-base 2 -trace-sample 1)
 PID=""
 
 cleanup() {
@@ -163,6 +168,48 @@ if [ "$NEXT_VERSION" -le "$POST_VERSION" ]; then
   log "FAIL: post-recovery ingest did not advance the version"; FAIL=1
 fi
 
+# Request tracing on the recovered server: the server runs with
+# -trace-sample 1, so the queries above must be in the retained ring
+# with the full serve-pipeline stage set, a listed id must resolve via
+# /v1/traces/{id}, and the post-recovery ingest must have left a
+# synthesized ingest trace with its stage spans.
+TRACES="$WORK/traces.json"
+curl -fsS "$BASE/v1/traces?limit=100" >"$TRACES"
+if ! python3 - "$TRACES" <<'TRACECHECK'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+traces = d.get("traces") or []
+if not traces:
+    sys.exit("no retained traces on the recovered server")
+queries = [t for t in traces if t.get("name") == "query"]
+ingests = [t for t in traces if t.get("name") == "ingest"]
+if not queries:
+    sys.exit("no retained query traces")
+if not ingests:
+    sys.exit("no retained ingest traces after post-recovery ingest")
+want = {"resolve", "admit", "batch", "solve"}
+got = set()
+for t in queries:
+    got |= {s.get("name") for s in t.get("spans") or []}
+if not want <= got:
+    sys.exit(f"query traces missing stages {sorted(want - got)} (saw {sorted(got)})")
+iwant = {"validate", "apply", "log", "publish"}
+igot = set()
+for t in ingests:
+    igot |= {s.get("name") for s in t.get("spans") or []}
+if not iwant <= igot:
+    sys.exit(f"ingest traces missing stages {sorted(iwant - igot)} (saw {sorted(igot)})")
+TRACECHECK
+then
+  log "FAIL: /v1/traces on the recovered server is missing expected traces or stages"; FAIL=1
+else
+  TRACE_ID=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['traces'][0]['trace_id'])" "$TRACES")
+  if ! curl -fsS "$BASE/v1/traces/$TRACE_ID" >/dev/null; then
+    log "FAIL: /v1/traces/$TRACE_ID did not resolve a listed trace id"; FAIL=1
+  fi
+fi
+
 kill "$PID" 2>/dev/null && wait "$PID" 2>/dev/null || true
 PID=""
 
@@ -171,4 +218,4 @@ if [ "$FAIL" -ne 0 ]; then
   cat "$WORK/server.log" "$WORK/server2.log" >&2 || true
   exit 1
 fi
-log "OK: recovered to version $PRE_VERSION with bit-identical answers (live and history v$HIST_VERSION) and a clean metrics exposition"
+log "OK: recovered to version $PRE_VERSION with bit-identical answers (live and history v$HIST_VERSION), a clean metrics exposition, and stage-complete query+ingest traces"
